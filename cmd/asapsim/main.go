@@ -1,0 +1,112 @@
+// Command asapsim replays one paper-style trace under a single search
+// scheme on a single topology and prints the evaluation metrics — the
+// workhorse for exploring one configuration at a time.
+//
+// Usage:
+//
+//	asapsim [-scale full|small|tiny] [-scheme name] [-topo name]
+//	        [-trace file] [-workers n] [-seed n] [-series]
+//
+// With -trace, the query/churn trace is loaded from a file produced by
+// tracegen instead of being regenerated (the content universe is still
+// derived from the scale preset, which must match the one used at
+// generation time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asap/internal/experiments"
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "scale preset: full, small or tiny")
+		scheme    = flag.String("scheme", "asap-rw", "search scheme (flooding, random-walk, gsa, asap-fld, asap-rw, asap-gsa)")
+		topo      = flag.String("topo", "crawled", "overlay topology (random, powerlaw, crawled)")
+		traceFile = flag.String("trace", "", "replay a trace file from tracegen instead of regenerating")
+		workers   = flag.Int("workers", 0, "query replay workers (0 = GOMAXPROCS)")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		series    = flag.Bool("series", false, "also print the per-second load series")
+	)
+	flag.Parse()
+	if err := run(*scaleName, *scheme, *topo, *traceFile, *workers, *seed, *series); err != nil {
+		fmt.Fprintln(os.Stderr, "asapsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName, scheme, topoName, traceFile string, workers int, seed uint64, series bool) error {
+	sc, err := experiments.ByName(scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Workers = workers
+	sc.Seed = seed
+	kind := overlay.Kind(255)
+	for _, k := range overlay.Kinds {
+		if k.String() == topoName {
+			kind = k
+		}
+	}
+	if kind == 255 {
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+
+	start := time.Now()
+	lab, err := experiments.NewLab(sc)
+	if err != nil {
+		return err
+	}
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		lab.Tr = tr
+	}
+	fmt.Fprintf(os.Stderr, "inputs ready in %v: %s\n", time.Since(start).Round(time.Millisecond), lab.Tr.Stats())
+
+	sch, err := lab.NewScheme(scheme)
+	if err != nil {
+		return err
+	}
+	sys := sim.NewSystem(lab.U, lab.Tr, kind, lab.Net, sc.Seed)
+	sum := sim.Run(sys, sch, sim.RunOptions{Workers: sc.Workers})
+
+	fmt.Printf("scheme:            %s\n", sum.Scheme)
+	fmt.Printf("topology:          %s\n", sum.Topology)
+	fmt.Printf("requests:          %d\n", sum.Requests)
+	fmt.Printf("success rate:      %.1f%%\n", sum.SuccessRate*100)
+	fmt.Printf("mean response:     %.0f ms (p95 %d ms)\n", sum.MeanRespMS, sum.P95RespMS)
+	fmt.Printf("mean hops:         %.2f (one-hop %.0f%%)\n", sum.MeanHops, sum.OneHopRate*100)
+	fmt.Printf("cost per search:   %.2f KB\n", sum.MeanSearchBytes/1024)
+	fmt.Printf("system load:       %.3f ± %.3f KB/node/s\n", sum.LoadMeanKBps, sum.LoadStdKBps)
+	fmt.Printf("warm-up traffic:   %.1f MB\n", float64(sum.WarmupBytes)/(1<<20))
+	fmt.Printf("load breakdown:\n")
+	for c := 0; c < metrics.NumMsgClasses; c++ {
+		if sum.Breakdown[c] > 0 {
+			fmt.Printf("  %-12s %.1f%%\n", metrics.MsgClass(c).String(), sum.Breakdown[c]*100)
+		}
+	}
+	if series {
+		fmt.Println("per-second load (KB/node/s):")
+		for i, v := range sum.LoadSeries {
+			fmt.Printf("%d %.4f\n", i, v)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

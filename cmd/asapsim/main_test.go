@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asap/internal/content"
+	"asap/internal/experiments"
+	"asap/internal/trace"
+)
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("bogus", "asap-rw", "crawled", "", 0, 1, false); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run("tiny", "bogus", "crawled", "", 0, 1, false); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if err := run("tiny", "asap-rw", "mesh", "", 0, 1, false); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run("tiny", "asap-rw", "crawled", "/nonexistent/trace.bin", 0, 1, false); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunPrintsMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny run in -short mode")
+	}
+	out, err := captureStdout(t, func() error {
+		return run("tiny", "asap-rw", "crawled", "", 0, 1, true)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"success rate", "mean response", "system load", "ad-refresh", "per-second load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithExternalTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny run in -short mode")
+	}
+	// Generate a trace compatible with the tiny scale's universe and
+	// replay it from disk.
+	sc, err := experiments.ByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := content.Generate(sc.Content)
+	tcfg := sc.Trace
+	tcfg.NumQueries = 200
+	tr, err := trace.Build(u, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, err := captureStdout(t, func() error {
+		return run("tiny", "flooding", "random", path, 0, 1, false)
+	})
+	if err != nil {
+		t.Fatalf("run with trace file: %v", err)
+	}
+	if !strings.Contains(out, "requests:          200") {
+		t.Errorf("external trace not used:\n%s", out)
+	}
+}

@@ -1,0 +1,208 @@
+// Command experiments regenerates the figures of the ASAP paper's
+// evaluation section (§V).
+//
+// Usage:
+//
+//	experiments [-scale full|small|tiny] [-figure all|2|3|...|10|claims]
+//	            [-schemes csv] [-topos csv] [-workers n] [-seed n] [-quiet]
+//
+// Examples:
+//
+//	experiments -scale small -figure all     # every figure, 1/10 scale
+//	experiments -scale full -figure 4        # paper-scale Fig. 4 (slow)
+//	experiments -scale small -figure claims  # headline-claim checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"asap/internal/experiments"
+	"asap/internal/overlay"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "experiment scale: full, small or tiny")
+		figure    = flag.String("figure", "all", "figure to regenerate: all, 2-10, or claims")
+		schemes   = flag.String("schemes", "", "comma-separated scheme subset (default: all six)")
+		topos     = flag.String("topos", "", "comma-separated topology subset (default: all three)")
+		workers   = flag.Int("workers", 0, "query replay workers (0 = GOMAXPROCS)")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		seedCount = flag.Int("seeds", 3, "seeds for -figure seeds (robustness sweep)")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *figure == "seeds" {
+		if err := runSeeds(*scaleName, *schemes, *topos, *workers, *seedCount, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*scaleName, *figure, *schemes, *topos, *workers, *seed, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName, figure, schemeCSV, topoCSV string, workers int, seed uint64, quiet bool) error {
+	sc, err := experiments.ByName(scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Workers = workers
+	sc.Seed = seed
+
+	progress := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	progress("building %s-scale lab (network, universe, trace)…", sc.Name)
+	lab, err := experiments.NewLab(sc)
+	if err != nil {
+		return err
+	}
+	st := lab.Tr.Stats()
+	progress("lab ready in %v: %s", time.Since(start).Round(time.Millisecond), st)
+
+	var schemeList []string
+	if schemeCSV != "" {
+		schemeList = strings.Split(schemeCSV, ",")
+	}
+	var topoList []overlay.Kind
+	if topoCSV != "" {
+		for _, name := range strings.Split(topoCSV, ",") {
+			k, err := kindByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			topoList = append(topoList, k)
+		}
+	}
+
+	needMatrix := figure != "2" && figure != "3"
+	var m experiments.Matrix
+	if needMatrix {
+		m, err = lab.RunMatrix(schemeList, topoList, func(s string, k overlay.Kind) {
+			progress("running %-12s on %-8s (%v elapsed)", s, k, time.Since(start).Round(time.Second))
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	out := func(s string) { fmt.Println(s) }
+	switch figure {
+	case "all":
+		out(experiments.FormatFig2(lab))
+		out(experiments.FormatFig3(lab))
+		out(experiments.FormatFig4(m))
+		out(experiments.FormatFig5(m))
+		out(experiments.FormatFig6(m))
+		if per, ok := m["asap-rw"]; ok {
+			if sum, ok := per[overlay.Crawled]; ok {
+				out(experiments.FormatFig7(sum))
+			}
+		}
+		out(experiments.FormatFig8(m))
+		out(experiments.FormatFig9(m))
+		out(experiments.FormatFig10(m, 100))
+		out(experiments.FormatClaims(experiments.CheckClaims(m)))
+	case "2":
+		out(experiments.FormatFig2(lab))
+	case "3":
+		out(experiments.FormatFig3(lab))
+	case "4":
+		out(experiments.FormatFig4(m))
+	case "5":
+		out(experiments.FormatFig5(m))
+	case "6":
+		out(experiments.FormatFig6(m))
+	case "7":
+		per, ok := m["asap-rw"]
+		if !ok {
+			return fmt.Errorf("figure 7 needs an asap-rw run")
+		}
+		sum, ok := per[overlay.Crawled]
+		if !ok {
+			return fmt.Errorf("figure 7 needs the crawled topology")
+		}
+		out(experiments.FormatFig7(sum))
+	case "8":
+		out(experiments.FormatFig8(m))
+	case "9":
+		out(experiments.FormatFig9(m))
+	case "10":
+		out(experiments.FormatFig10(m, 100))
+	case "claims":
+		out(experiments.FormatClaims(experiments.CheckClaims(m)))
+	default:
+		return fmt.Errorf("unknown figure %q (all, 2-10, claims, seeds)", figure)
+	}
+	progress("done in %v", time.Since(start).Round(time.Second))
+	return nil
+}
+
+// runSeeds performs the robustness sweep: every selected scheme ×
+// topology is replayed under several seeds (fresh universe, trace,
+// placement and topology each time) and the metric spreads are printed.
+func runSeeds(scaleName, schemeCSV, topoCSV string, workers, nSeeds int, quiet bool) error {
+	sc, err := experiments.ByName(scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Workers = workers
+	if nSeeds < 1 {
+		return fmt.Errorf("need ≥1 seeds")
+	}
+	seeds := make([]uint64, nSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	schemeList := experiments.SchemeNames
+	if schemeCSV != "" {
+		schemeList = strings.Split(schemeCSV, ",")
+	}
+	topoList := []overlay.Kind{overlay.Crawled}
+	if topoCSV != "" {
+		topoList = topoList[:0]
+		for _, name := range strings.Split(topoCSV, ",") {
+			k, err := kindByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			topoList = append(topoList, k)
+		}
+	}
+	var sweeps []experiments.SeedSweep
+	for _, s := range schemeList {
+		for _, k := range topoList {
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "sweeping %s on %s over %d seeds…\n", s, k, nSeeds)
+			}
+			sw, err := experiments.RunSeeds(sc, strings.TrimSpace(s), k, seeds)
+			if err != nil {
+				return err
+			}
+			sweeps = append(sweeps, sw)
+		}
+	}
+	fmt.Println(experiments.FormatSeedSweeps(sweeps))
+	return nil
+}
+
+func kindByName(name string) (overlay.Kind, error) {
+	for _, k := range overlay.Kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown topology %q", name)
+}

@@ -1,0 +1,134 @@
+// Command tracegen generates, saves and inspects the synthetic
+// query/churn traces of §IV-B.
+//
+// Usage:
+//
+//	tracegen -out trace.bin [-scale full|small|tiny] [-seed n]
+//	         [-queries n] [-nodes n] [-joins n] [-leaves n] [-lambda f]
+//	tracegen -inspect trace.bin [-events n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asap/internal/content"
+	"asap/internal/experiments"
+	"asap/internal/trace"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the generated trace to this file")
+		inspect   = flag.String("inspect", "", "print statistics (and events) of an existing trace file")
+		scaleName = flag.String("scale", "small", "scale preset: full, small or tiny")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		queries   = flag.Int("queries", 0, "override query count")
+		nodes     = flag.Int("nodes", 0, "override participant count")
+		joins     = flag.Int("joins", -1, "override join count")
+		leaves    = flag.Int("leaves", -1, "override departure count")
+		lambda    = flag.Float64("lambda", 0, "override Poisson arrival rate (req/s)")
+		events    = flag.Int("events", 0, "with -inspect: print the first n events")
+		asJSON    = flag.Bool("json", false, "write/read the JSON-lines format instead of binary")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *inspect != "":
+		err = runInspect(*inspect, *events, *asJSON)
+	case *out != "":
+		err = runGenerate(*out, *scaleName, *seed, *queries, *nodes, *joins, *leaves, *lambda, *asJSON)
+	default:
+		err = fmt.Errorf("need -out or -inspect")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func runGenerate(out, scaleName string, seed uint64, queries, nodes, joins, leaves int, lambda float64, asJSON bool) error {
+	sc, err := experiments.ByName(scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = seed
+	sc.Content.Seed = seed
+	tcfg := sc.Trace
+	tcfg.Seed = seed
+	if queries > 0 {
+		tcfg.NumQueries = queries
+	}
+	if nodes > 0 {
+		tcfg.NumNodes = nodes
+	}
+	if joins >= 0 {
+		tcfg.NumJoins = joins
+	}
+	if leaves >= 0 {
+		tcfg.NumLeaves = leaves
+	}
+	if lambda > 0 {
+		tcfg.Lambda = lambda
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating %s-scale universe…\n", sc.Name)
+	u := content.Generate(sc.Content)
+	fmt.Fprintf(os.Stderr, "building trace…\n")
+	tr, err := trace.Build(u, tcfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	encode := tr.Encode
+	if asJSON {
+		encode = tr.EncodeJSON
+	}
+	if err := encode(f); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", tr.Stats())
+	fmt.Printf("wrote %s (%d bytes) in %v\n", out, info.Size(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runInspect(path string, events int, asJSON bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	decode := trace.Decode
+	if asJSON {
+		decode = trace.DecodeJSON
+	}
+	tr, err := decode(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", tr.Stats())
+	fmt.Printf("participants: %d initial + %d reserve\n", tr.InitialLive, len(tr.Peers)-tr.InitialLive)
+	for i := 0; i < events && i < len(tr.Events); i++ {
+		ev := &tr.Events[i]
+		fmt.Printf("%8.3fs  %-14s node=%d", float64(ev.Time)/1000, ev.Kind, ev.Node)
+		if ev.Kind == trace.Query {
+			fmt.Printf(" terms=%v doc=%d", ev.Terms, ev.Doc)
+		} else if ev.Kind == trace.ContentAdd || ev.Kind == trace.ContentRemove {
+			fmt.Printf(" doc=%d", ev.Doc)
+		}
+		fmt.Println()
+	}
+	return nil
+}

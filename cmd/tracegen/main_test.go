@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestGenerateAndInspectRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny universe in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	out, err := captureStdout(t, func() error {
+		return runGenerate(path, "tiny", 5, 150, 0, 10, 10, 0, false)
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("generate output: %s", out)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+
+	out, err = captureStdout(t, func() error { return runInspect(path, 5, false) })
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	for _, want := range []string{"participants:", "q=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	// With -events 5 the first events are listed with timestamps.
+	if !strings.Contains(out, "s  ") {
+		t.Errorf("inspect did not list events:\n%s", out)
+	}
+}
+
+func TestGenerateOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny universe in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if _, err := captureStdout(t, func() error {
+		return runGenerate(path, "tiny", 1, 50, 100, 0, 0, 16, false)
+	}); err != nil {
+		t.Fatalf("generate with overrides: %v", err)
+	}
+	out, err := captureStdout(t, func() error { return runInspect(path, 0, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "participants: 100 + 0") && !strings.Contains(out, "participants: 100 initial + 0 reserve") {
+		t.Errorf("node override not applied:\n%s", out)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := runGenerate(filepath.Join(t.TempDir(), "x.bin"), "bogus", 1, 0, 0, -1, -1, 0, false); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := runInspect("/nonexistent/file.bin", 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	junk := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(junk, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runInspect(junk, 0, false); err == nil {
+		t.Error("junk file accepted")
+	}
+}
+
+func TestGenerateAndInspectJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny universe in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if _, err := captureStdout(t, func() error {
+		return runGenerate(path, "tiny", 2, 80, 0, 0, 0, 0, true)
+	}); err != nil {
+		t.Fatalf("generate JSON: %v", err)
+	}
+	out, err := captureStdout(t, func() error { return runInspect(path, 2, true) })
+	if err != nil {
+		t.Fatalf("inspect JSON: %v", err)
+	}
+	if !strings.Contains(out, "participants:") {
+		t.Errorf("inspect JSON output:\n%s", out)
+	}
+	// The JSON file must not decode as binary.
+	if err := runInspect(path, 0, false); err == nil {
+		t.Error("binary decoder accepted JSON file")
+	}
+}

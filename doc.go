@@ -1,0 +1,30 @@
+// Package asap is a from-scratch Go reproduction of
+//
+//	Peng Gu, Jun Wang, Hailong Cai — "ASAP: An Advertisement-based Search
+//	Algorithm for Unstructured Peer-to-peer Systems", ICPP 2007.
+//
+// ASAP inverts query-based P2P search: instead of pulling content
+// locations with flooded queries, every peer proactively pushes an
+// advertisement — a Bloom-filter synopsis of its shared content, tagged
+// with semantic topics and a version — and interested peers cache it. A
+// search then reduces to a local ads-cache lookup plus a one-hop
+// confirmation with the advertiser.
+//
+// The module contains the complete experimental apparatus of the paper:
+// the GT-ITM transit-stub physical network, three overlay topologies, a
+// synthetic eDonkey-calibrated content universe, the trace builder, three
+// query-based baselines (flooding, random walk, GSA), the three ASAP
+// variants, and a harness that regenerates every figure of the evaluation
+// (see DESIGN.md and EXPERIMENTS.md).
+//
+// This package is the public façade. Two entry points cover most uses:
+//
+//   - RunExperiment replays a paper-style trace under one scheme ×
+//     topology and returns the evaluation metrics;
+//   - Cluster is an interactively driven ASAP system: create it, search
+//     from any node, add or remove documents, churn nodes, and advance
+//     virtual time.
+//
+// Everything deeper (custom topologies, traces, schemes) is reachable
+// through the internal packages' types that this package re-exports.
+package asap

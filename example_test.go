@@ -1,0 +1,82 @@
+package asap_test
+
+import (
+	"fmt"
+	"log"
+
+	"asap"
+)
+
+// ExampleNewCluster builds a small warmed-up ASAP cluster and inspects
+// its shape.
+func ExampleNewCluster() {
+	cluster, err := asap.NewCluster(asap.ClusterConfig{
+		Nodes:    100,
+		Reserve:  5,
+		Topology: asap.Random,
+		Scheme:   "asap-rw",
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("live peers:", cluster.LiveCount())
+	fmt.Println("scheme:", cluster.SchemeName())
+	fmt.Println("reserves:", cluster.NumNodes()-cluster.LiveCount())
+	// Output:
+	// live peers: 100
+	// scheme: asap-rw
+	// reserves: 5
+}
+
+// ExampleCluster_Search shows the everyday search flow: pick a document
+// another peer shares, search for it by keywords, and read the outcome.
+func ExampleCluster_Search() {
+	cluster, err := asap.NewCluster(asap.ClusterConfig{Nodes: 200, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, doc, ok := cluster.RandomQuery()
+	if !ok {
+		log.Fatal("no satisfiable query")
+	}
+	res := cluster.SearchForDoc(node, doc, 2)
+	fmt.Println("found:", res.Success)
+	fmt.Println("one hop:", res.Hops == 1)
+	// Output:
+	// found: true
+	// one hop: true
+}
+
+// ExampleCluster_churn drives joins and departures through the public
+// API.
+func ExampleCluster_churn() {
+	cluster, err := asap.NewCluster(asap.ClusterConfig{Nodes: 50, Reserve: 2, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	joiner := asap.NodeID(50) // first reserve slot
+	if err := cluster.Join(joiner); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after join:", cluster.LiveCount())
+	if err := cluster.Leave(joiner); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after leave:", cluster.LiveCount())
+	// Output:
+	// after join: 51
+	// after leave: 50
+}
+
+// ExampleTopologyByName resolves topology labels.
+func ExampleTopologyByName() {
+	for _, name := range []string{"random", "powerlaw", "crawled"} {
+		k, _ := asap.TopologyByName(name)
+		fmt.Println(k)
+	}
+	// Output:
+	// random
+	// powerlaw
+	// crawled
+}

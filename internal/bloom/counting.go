@@ -1,0 +1,98 @@
+package bloom
+
+import "fmt"
+
+// Counting is a counting Bloom filter: the paper's "collection of 2-tuples
+// (i, x), which means that the i-th bit is set x times" (§III-B). A peer
+// maintains one Counting filter over its keyword set so that document
+// removals can clear bits; the plain bit-array view (ToFilter / View) is
+// what travels inside ads.
+type Counting struct {
+	m      uint32
+	k      uint8
+	counts []uint16
+	flat   *Filter // materialised bit view, kept in sync
+}
+
+// NewCounting returns an empty counting filter with the given geometry.
+func NewCounting(m, k int) *Counting {
+	if m <= 0 || k <= 0 || k > 64 {
+		panic(fmt.Sprintf("bloom: invalid geometry m=%d k=%d", m, k))
+	}
+	return &Counting{m: uint32(m), k: uint8(k), counts: make([]uint16, m), flat: New(m, k)}
+}
+
+// NewCountingDefault returns an empty counting filter with the paper's
+// fixed geometry.
+func NewCountingDefault() *Counting { return NewCounting(DefaultBits, DefaultHashes) }
+
+// Bits returns the filter length in bits.
+func (c *Counting) Bits() int { return int(c.m) }
+
+// Add increments the counters for key.
+func (c *Counting) Add(key string) { c.addSum(sumString(key)) }
+
+// AddKey is Add for interned integer keys.
+func (c *Counting) AddKey(key uint64) { c.addSum(sumUint64(key)) }
+
+func (c *Counting) addSum(sum uint64) {
+	c.flat.probe(sum, func(pos uint32) bool {
+		if c.counts[pos] == ^uint16(0) {
+			// Saturate rather than wrap; with |K_max|=1000 keys and k=8
+			// probes a counter can never realistically reach 65535.
+			return true
+		}
+		c.counts[pos]++
+		if c.counts[pos] == 1 {
+			c.flat.SetBit(pos)
+		}
+		return true
+	})
+}
+
+// Remove decrements the counters for key. Removing a key that was never
+// added corrupts the filter; the caller (the peer's content manager) must
+// only remove keys it previously added. Counters at zero stay at zero.
+func (c *Counting) Remove(key string) { c.removeSum(sumString(key)) }
+
+// RemoveKey is Remove for interned integer keys.
+func (c *Counting) RemoveKey(key uint64) { c.removeSum(sumUint64(key)) }
+
+func (c *Counting) removeSum(sum uint64) {
+	c.flat.probe(sum, func(pos uint32) bool {
+		if c.counts[pos] == 0 {
+			return true
+		}
+		c.counts[pos]--
+		if c.counts[pos] == 0 {
+			c.flat.ClearBit(pos)
+		}
+		return true
+	})
+}
+
+// Contains reports whether key may be present.
+func (c *Counting) Contains(key string) bool { return c.flat.Contains(key) }
+
+// ContainsKey is Contains for interned integer keys.
+func (c *Counting) ContainsKey(key uint64) bool { return c.flat.ContainsKey(key) }
+
+// Count returns the counter value at bit position pos.
+func (c *Counting) Count(pos uint32) uint16 {
+	if pos >= c.m {
+		panic(fmt.Sprintf("bloom: bit %d out of range (m=%d)", pos, c.m))
+	}
+	return c.counts[pos]
+}
+
+// View returns the live bit-array view of the counting filter. The returned
+// filter is shared: it mutates as the counting filter mutates. Use ToFilter
+// for a snapshot.
+func (c *Counting) View() *Filter { return c.flat }
+
+// ToFilter returns an independent snapshot of the current bit view. This is
+// what a peer embeds in a full ad.
+func (c *Counting) ToFilter() *Filter { return c.flat.Clone() }
+
+// Empty reports whether no bits are set.
+func (c *Counting) Empty() bool { return c.flat.Empty() }

@@ -1,0 +1,145 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountingAddRemove(t *testing.T) {
+	c := NewCountingDefault()
+	c.Add("jazz")
+	c.Add("pop")
+	if !c.Contains("jazz") || !c.Contains("pop") {
+		t.Fatal("missing key after Add")
+	}
+	c.Remove("jazz")
+	if c.Contains("jazz") && !c.Contains("pop") {
+		t.Error("Remove cleared wrong key")
+	}
+	if !c.Contains("pop") {
+		t.Error("pop lost after removing jazz")
+	}
+	c.Remove("pop")
+	if !c.Empty() {
+		t.Error("filter not empty after removing all keys")
+	}
+}
+
+func TestCountingDuplicateAdds(t *testing.T) {
+	c := NewCountingDefault()
+	c.Add("dup")
+	c.Add("dup")
+	c.Remove("dup")
+	if !c.Contains("dup") {
+		t.Error("key lost after removing one of two copies")
+	}
+	c.Remove("dup")
+	if c.Contains("dup") && c.Empty() {
+		t.Error("inconsistent state after final removal")
+	}
+	if !c.Empty() {
+		t.Error("filter not empty after removing both copies")
+	}
+}
+
+// Property: after any interleaving of adds and removes (removes only of
+// previously-added live keys), the counting filter's bit view equals a plain
+// filter rebuilt from the surviving multiset.
+func TestCountingMatchesRebuildProperty(t *testing.T) {
+	type op struct {
+		Key    uint8 // small key space to force collisions
+		Remove bool
+	}
+	prop := func(ops []op) bool {
+		c := NewCounting(512, 4)
+		live := map[uint64]int{}
+		for _, o := range ops {
+			k := uint64(o.Key)
+			if o.Remove {
+				if live[k] == 0 {
+					continue // only remove what exists
+				}
+				live[k]--
+				c.RemoveKey(k)
+			} else {
+				live[k]++
+				c.AddKey(k)
+			}
+		}
+		want := New(512, 4)
+		for k, n := range live {
+			for i := 0; i < n; i++ {
+				want.AddKey(k)
+			}
+		}
+		return c.ToFilter().Equal(want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountingRemoveAbsentKeyIsSafe(t *testing.T) {
+	c := NewCountingDefault()
+	c.Add("present")
+	// Removing an absent key must not underflow counters below zero.
+	c.Remove("never added")
+	if c.Count(0) > 100 {
+		t.Error("counter underflow detected")
+	}
+}
+
+func TestCountingViewIsLive(t *testing.T) {
+	c := NewCountingDefault()
+	v := c.View()
+	c.Add("live")
+	if !v.Contains("live") {
+		t.Error("View() snapshot is stale; must be live")
+	}
+	s := c.ToFilter()
+	c.Add("after snapshot")
+	if s.Contains("after snapshot") && !s.Contains("live") {
+		t.Error("ToFilter() snapshot mutated")
+	}
+}
+
+func TestCountingDiffDrivesPatches(t *testing.T) {
+	// The ASAP patch-ad flow: snapshot, mutate, diff, apply at a remote
+	// cache.
+	c := NewCountingDefault()
+	rng := rand.New(rand.NewPCG(7, 7))
+	keys := make([]uint64, 50)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		c.AddKey(keys[i])
+	}
+	remote := c.ToFilter() // remote cache holds the full ad
+
+	// Local content changes: drop 10 documents' keywords, add 5 new.
+	before := c.ToFilter()
+	for _, k := range keys[:10] {
+		c.RemoveKey(k)
+	}
+	for i := 0; i < 5; i++ {
+		c.AddKey(rng.Uint64())
+	}
+	patch := before.Diff(c.ToFilter())
+
+	remote.Apply(patch)
+	if !remote.Equal(c.ToFilter()) {
+		t.Error("remote cache diverged after applying patch ad")
+	}
+}
+
+func TestCountingCountAccess(t *testing.T) {
+	c := NewCounting(64, 2)
+	c.AddKey(5)
+	total := 0
+	for i := uint32(0); i < 64; i++ {
+		total += int(c.Count(i))
+	}
+	if total != 2 {
+		t.Errorf("sum of counters = %d, want k=2", total)
+	}
+}

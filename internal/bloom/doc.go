@@ -1,0 +1,35 @@
+// Package bloom implements the Bloom-filter machinery ASAP uses to
+// summarise a peer's shared content (paper §III-B).
+//
+// The paper fixes one filter geometry for the whole system: with a maximum
+// keyword set of |K_max| = 1,000 and k = 8 hash functions, the minimum
+// filter length achieving the smallest false-positive rate is
+//
+//	m = |K_max|·k / ln 2 = 11,542 bits ≈ 1.43 KB,
+//
+// and the smallest reachable false-positive probability is
+//
+//	p_min = (1/2)^k = 0.6185^(m/n) ≈ 0.39%.
+//
+// The package provides:
+//
+//   - Filter: the fixed-geometry bit-array filter with membership tests.
+//     Membership tests may return false positives with predictable
+//     probability but never false negatives.
+//   - Counting: a counting variant that supports removal, used by a peer to
+//     maintain its own content filter as documents come and go. The paper
+//     describes it as a collection of 2-tuples (i, x) meaning "bit i is set
+//     x times"; only the bit positions travel over the wire.
+//   - Compressed wire encodings: a full filter is shipped either as the raw
+//     bitmap or as a delta-varint list of set-bit positions, whichever is
+//     smaller ("for those peers who share few files and keywords, we use a
+//     compressed representation").
+//   - Patch: "an ad patch for content filter changes is implemented by a
+//     list of changed bit locations in the filter".
+//
+// Keys are either strings or 64-bit integers (the simulator interns
+// keywords as integers); both go through the same double-hashing scheme
+// (Kirsch–Mitzenmacher: g_i(x) = h1(x) + i·h2(x) mod m), so one set of hash
+// functions is "used everywhere" exactly as the paper's fixed-length design
+// requires.
+package bloom

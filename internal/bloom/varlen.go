@@ -1,0 +1,62 @@
+package bloom
+
+// Variable-length filters: the alternative sizing strategy §III-B
+// describes. All nodes agree on one set of universal hash functions
+// {h₁,…,h_k} and a pool of available filter lengths; each node picks the
+// minimum pool length above |K_p|·k/ln 2, and probing a filter of length
+// l uses h'_i = h_i mod l. This "releases the constraint on the maximum
+// keyword set and utilizes the space more efficiently", at the cost of
+// heterogeneous filters in the system.
+//
+// Filter already probes with (h₁ + i·h₂) mod m where h₁, h₂ are derived
+// from a length-independent digest, so a variable-length filter is simply
+// a Filter constructed with a pool-chosen m: membership tests, diffs,
+// patches and wire encodings all carry the geometry with them.
+
+// DefaultLengthPool returns the standard pool of available filter
+// lengths: a geometric ladder from 1/16 of the fixed length up to the
+// fixed length itself, then doubling twice more for future growth. The
+// pool is shared system-wide; every node picks from it.
+func DefaultLengthPool() []int {
+	return []int{
+		DefaultBits / 16, // 721 bits  (~62 keys at k=8)
+		DefaultBits / 8,  // 1,442     (~125 keys)
+		DefaultBits / 4,  // 2,885     (~250 keys)
+		DefaultBits / 2,  // 5,771     (~500 keys)
+		DefaultBits,      // 11,542    (1,000 keys — the fixed geometry)
+		DefaultBits * 2,  // 23,084
+		DefaultBits * 4,  // 46,168
+	}
+}
+
+// ChooseLength returns the smallest pool length whose false-positive rate
+// for n keys under k hashes does not exceed the design point, i.e. the
+// smallest l ≥ n·k/ln 2. If the pool has no such length the largest pool
+// entry is returned (the filter then operates above its design load, with
+// a correspondingly higher false-positive rate — exactly the behaviour
+// the paper's fixed scheme has when |K_p| outgrows |K_max|).
+func ChooseLength(n, k int, pool []int) int {
+	need := RequiredBits(max(1, n), k)
+	if len(pool) == 0 {
+		return need
+	}
+	smallest, maxLen := -1, 0
+	for _, l := range pool {
+		if l > maxLen {
+			maxLen = l
+		}
+		if l >= need && (smallest == -1 || l < smallest) {
+			smallest = l
+		}
+	}
+	if smallest != -1 {
+		return smallest
+	}
+	return maxLen
+}
+
+// NewSized returns an empty filter sized from the default pool for n keys
+// under the default hash count.
+func NewSized(n int) *Filter {
+	return New(ChooseLength(n, DefaultHashes, DefaultLengthPool()), DefaultHashes)
+}

@@ -1,0 +1,225 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Patch is "a list of changed bit locations in the filter" (§III-B): the
+// wire payload of a patch ad. Positions appear in ascending order within
+// each list. Applying a patch to the filter it was diffed from yields the
+// updated filter exactly.
+type Patch struct {
+	Set     []uint32 // positions that became 1
+	Cleared []uint32 // positions that became 0
+}
+
+// Empty reports whether the patch changes nothing.
+func (p Patch) Empty() bool { return len(p.Set) == 0 && len(p.Cleared) == 0 }
+
+// Len returns the number of changed bit locations.
+func (p Patch) Len() int { return len(p.Set) + len(p.Cleared) }
+
+// WireSize returns the encoded size of the patch in bytes.
+func (p Patch) WireSize() int { return len(p.Encode()) }
+
+// Encode serialises the patch as two delta-varint position lists, each
+// preceded by its length.
+func (p Patch) Encode() []byte {
+	buf := make([]byte, 0, 2+3*(len(p.Set)+len(p.Cleared)))
+	buf = appendPosList(buf, p.Set)
+	buf = appendPosList(buf, p.Cleared)
+	return buf
+}
+
+// DecodePatch parses an encoded patch.
+func DecodePatch(data []byte) (Patch, error) {
+	set, rest, err := readPosList(data)
+	if err != nil {
+		return Patch{}, fmt.Errorf("bloom: patch set list: %w", err)
+	}
+	cleared, rest, err := readPosList(rest)
+	if err != nil {
+		return Patch{}, fmt.Errorf("bloom: patch cleared list: %w", err)
+	}
+	if len(rest) != 0 {
+		return Patch{}, fmt.Errorf("bloom: %d trailing bytes after patch", len(rest))
+	}
+	return Patch{Set: set, Cleared: cleared}, nil
+}
+
+// EncodeCompressed serialises the filter as a delta-varint list of set-bit
+// positions — the "compressed representation" used when a peer shares few
+// files and keywords. A 5-byte header carries geometry so the receiver can
+// validate.
+func (f *Filter) EncodeCompressed() []byte {
+	buf := make([]byte, 0, 5+3*f.PopCount())
+	buf = binary.AppendUvarint(buf, uint64(f.m))
+	buf = append(buf, f.k)
+	buf = appendPosList(buf, f.SetBits())
+	return buf
+}
+
+// DecodeCompressed parses a filter encoded by EncodeCompressed.
+func DecodeCompressed(data []byte) (*Filter, error) {
+	m, n := binary.Uvarint(data)
+	if n <= 0 || m == 0 || m > 1<<31 {
+		return nil, fmt.Errorf("bloom: bad compressed header")
+	}
+	data = data[n:]
+	if len(data) < 1 {
+		return nil, fmt.Errorf("bloom: truncated compressed header")
+	}
+	k := data[0]
+	if k == 0 || k > 64 {
+		return nil, fmt.Errorf("bloom: bad hash count %d", k)
+	}
+	pos, rest, err := readPosList(data[1:])
+	if err != nil {
+		return nil, fmt.Errorf("bloom: compressed positions: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("bloom: %d trailing bytes after filter", len(rest))
+	}
+	f := New(int(m), int(k))
+	for _, p := range pos {
+		if p >= uint32(m) {
+			return nil, fmt.Errorf("bloom: position %d out of range (m=%d)", p, m)
+		}
+		f.SetBit(p)
+	}
+	return f, nil
+}
+
+// EncodeRaw serialises the filter as its raw bitmap preceded by the same
+// 5-byte geometry header.
+func (f *Filter) EncodeRaw() []byte {
+	nbytes := (int(f.m) + 7) / 8
+	buf := make([]byte, 0, 6+nbytes)
+	buf = binary.AppendUvarint(buf, uint64(f.m))
+	buf = append(buf, f.k)
+	for i := 0; i < nbytes; i++ {
+		buf = append(buf, byte(f.words[i/8]>>(8*(i%8))))
+	}
+	return buf
+}
+
+// DecodeRaw parses a filter encoded by EncodeRaw.
+func DecodeRaw(data []byte) (*Filter, error) {
+	m, n := binary.Uvarint(data)
+	if n <= 0 || m == 0 || m > 1<<31 {
+		return nil, fmt.Errorf("bloom: bad raw header")
+	}
+	data = data[n:]
+	if len(data) < 1 {
+		return nil, fmt.Errorf("bloom: truncated raw header")
+	}
+	k := data[0]
+	if k == 0 || k > 64 {
+		return nil, fmt.Errorf("bloom: bad hash count %d", k)
+	}
+	data = data[1:]
+	nbytes := (int(m) + 7) / 8
+	if len(data) != nbytes {
+		return nil, fmt.Errorf("bloom: raw body %d bytes, want %d", len(data), nbytes)
+	}
+	f := New(int(m), int(k))
+	for i, b := range data {
+		f.words[i/8] |= uint64(b) << (8 * (i % 8))
+	}
+	// Mask stray bits beyond m so Equal and PopCount stay exact.
+	if rem := f.m % 64; rem != 0 {
+		f.words[len(f.words)-1] &= (1 << rem) - 1
+	}
+	return f, nil
+}
+
+// WireSize returns the number of bytes the filter occupies on the wire:
+// the smaller of the raw bitmap and the compressed position-list encodings.
+// This is the payload size charged to full-ad messages by the simulator.
+func (f *Filter) WireSize() int {
+	raw := 6 + (int(f.m)+7)/8
+	comp := len(f.EncodeCompressed())
+	if comp < raw {
+		return comp
+	}
+	return raw
+}
+
+// EncodeWire picks the smaller of the two encodings, prefixing one format
+// byte (0 = raw, 1 = compressed).
+func (f *Filter) EncodeWire() []byte {
+	raw := f.EncodeRaw()
+	comp := f.EncodeCompressed()
+	if len(comp) < len(raw) {
+		return append([]byte{1}, comp...)
+	}
+	return append([]byte{0}, raw...)
+}
+
+// DecodeWire parses a filter encoded by EncodeWire.
+func DecodeWire(data []byte) (*Filter, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("bloom: empty wire filter")
+	}
+	switch data[0] {
+	case 0:
+		return DecodeRaw(data[1:])
+	case 1:
+		return DecodeCompressed(data[1:])
+	default:
+		return nil, fmt.Errorf("bloom: unknown wire format %d", data[0])
+	}
+}
+
+// appendPosList writes a sorted position list as count + delta varints.
+func appendPosList(buf []byte, pos []uint32) []byte {
+	if !sort.SliceIsSorted(pos, func(i, j int) bool { return pos[i] < pos[j] }) {
+		pos = append([]uint32(nil), pos...)
+		sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(pos)))
+	prev := uint32(0)
+	for i, p := range pos {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(p))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(p-prev))
+		}
+		prev = p
+	}
+	return buf
+}
+
+// readPosList parses a list written by appendPosList, returning the
+// positions and the unread remainder of data.
+func readPosList(data []byte) ([]uint32, []byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("bad count")
+	}
+	if count > 1<<28 {
+		return nil, nil, fmt.Errorf("implausible count %d", count)
+	}
+	data = data[n:]
+	pos := make([]uint32, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("truncated at entry %d", i)
+		}
+		data = data[n:]
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		if prev > 1<<31 {
+			return nil, nil, fmt.Errorf("position overflow at entry %d", i)
+		}
+		pos = append(pos, uint32(prev))
+	}
+	return pos, data, nil
+}

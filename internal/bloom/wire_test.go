@@ -1,0 +1,254 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: compressed encode/decode round-trips any filter contents.
+func TestCompressedRoundTripProperty(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		f := New(2048, 5)
+		for _, k := range keys {
+			f.AddKey(k)
+		}
+		g, err := DecodeCompressed(f.EncodeCompressed())
+		return err == nil && f.Equal(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raw encode/decode round-trips any filter contents.
+func TestRawRoundTripProperty(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		f := New(2048, 5)
+		for _, k := range keys {
+			f.AddKey(k)
+		}
+		g, err := DecodeRaw(f.EncodeRaw())
+		return err == nil && f.Equal(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the auto-selecting wire encoding round-trips and never exceeds
+// the raw size by more than the 1-byte format tag.
+func TestWireRoundTripProperty(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		f := New(1024, 4)
+		for _, k := range keys {
+			f.AddKey(k)
+		}
+		enc := f.EncodeWire()
+		if len(enc) > len(f.EncodeRaw())+1 {
+			return false
+		}
+		g, err := DecodeWire(enc)
+		return err == nil && f.Equal(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedBeatsRawWhenSparse(t *testing.T) {
+	f := NewDefault()
+	f.AddKey(1)
+	f.AddKey(2)
+	if f.WireSize() >= 6+(DefaultBits+7)/8 {
+		t.Errorf("sparse filter WireSize %d not below raw %d", f.WireSize(), 6+(DefaultBits+7)/8)
+	}
+}
+
+func TestRawBeatsCompressedWhenDense(t *testing.T) {
+	f := NewDefault()
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 5000; i++ {
+		f.AddKey(rng.Uint64())
+	}
+	raw := 6 + (DefaultBits+7)/8
+	if f.WireSize() != raw {
+		t.Errorf("dense filter WireSize %d, want raw %d", f.WireSize(), raw)
+	}
+}
+
+func TestEmptyFilterWire(t *testing.T) {
+	f := NewDefault()
+	g, err := DecodeWire(f.EncodeWire())
+	if err != nil {
+		t.Fatalf("DecodeWire(empty) error: %v", err)
+	}
+	if !g.Empty() || !f.Equal(g) {
+		t.Error("empty filter did not round-trip")
+	}
+	// A free-rider's null filter costs almost nothing on the wire.
+	if f.WireSize() > 16 {
+		t.Errorf("empty filter WireSize %d, want tiny", f.WireSize())
+	}
+}
+
+// Property: patch encode/decode round-trips.
+func TestPatchRoundTripProperty(t *testing.T) {
+	prop := func(aKeys, bKeys []uint64) bool {
+		f := New(1024, 5)
+		g := New(1024, 5)
+		for _, k := range aKeys {
+			f.AddKey(k)
+		}
+		for _, k := range bKeys {
+			g.AddKey(k)
+		}
+		p := f.Diff(g)
+		q, err := DecodePatch(p.Encode())
+		if err != nil {
+			return false
+		}
+		h := f.Clone()
+		h.Apply(q)
+		return h.Equal(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatchWireSizeScalesWithChanges(t *testing.T) {
+	f := NewDefault()
+	g := f.Clone()
+	g.AddKey(12345) // ~8 changed bits
+	small := f.Diff(g).WireSize()
+
+	h := f.Clone()
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 200; i++ {
+		h.AddKey(rng.Uint64())
+	}
+	big := f.Diff(h).WireSize()
+	if small >= big {
+		t.Errorf("patch sizes not monotone: small=%d big=%d", small, big)
+	}
+	if small > 40 {
+		t.Errorf("single-key patch costs %d bytes, want small", small)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func([]byte) error
+		data []byte
+	}{
+		{"compressed empty", func(b []byte) error { _, err := DecodeCompressed(b); return err }, nil},
+		{"compressed bad k", func(b []byte) error { _, err := DecodeCompressed(b); return err }, []byte{8, 0}},
+		{"compressed trailing", func(b []byte) error { _, err := DecodeCompressed(b); return err },
+			append(New(64, 2).EncodeCompressed(), 0xFF)},
+		{"raw empty", func(b []byte) error { _, err := DecodeRaw(b); return err }, nil},
+		{"raw short body", func(b []byte) error { _, err := DecodeRaw(b); return err }, []byte{64, 2, 1, 2}},
+		{"wire empty", func(b []byte) error { _, err := DecodeWire(b); return err }, nil},
+		{"wire bad tag", func(b []byte) error { _, err := DecodeWire(b); return err }, []byte{9, 1, 2}},
+		{"patch empty", func(b []byte) error { _, err := DecodePatch(b); return err }, nil},
+		{"patch truncated", func(b []byte) error { _, err := DecodePatch(b); return err }, []byte{5, 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(tc.data); err == nil {
+			t.Errorf("%s: decode succeeded on malformed input", tc.name)
+		}
+	}
+}
+
+func TestDecodeCompressedRejectsOutOfRangePosition(t *testing.T) {
+	f := New(64, 2)
+	f.SetBit(63)
+	enc := f.EncodeCompressed()
+	// Corrupt: claim geometry m=32 with a position of 63.
+	bad := append([]byte{32, 2}, enc[2:]...)
+	if _, err := DecodeCompressed(bad); err == nil {
+		t.Error("decode accepted out-of-range bit position")
+	}
+}
+
+func TestPatchEmptyAndLen(t *testing.T) {
+	var p Patch
+	if !p.Empty() || p.Len() != 0 {
+		t.Error("zero patch not empty")
+	}
+	p.Set = []uint32{1, 2}
+	p.Cleared = []uint32{7}
+	if p.Empty() || p.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", p.Len())
+	}
+}
+
+func TestAppendPosListHandlesUnsorted(t *testing.T) {
+	buf := appendPosList(nil, []uint32{9, 3, 7})
+	got, rest, err := readPosList(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("readPosList error: %v rest=%d", err, len(rest))
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("positions = %v, want sorted [3 7 9]", got)
+	}
+}
+
+func BenchmarkAddKey(b *testing.B) {
+	f := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.AddKey(uint64(i))
+	}
+}
+
+func BenchmarkContainsKey(b *testing.B) {
+	f := NewDefault()
+	for i := uint64(0); i < 1000; i++ {
+		f.AddKey(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ContainsKey(uint64(i % 2000))
+	}
+}
+
+// BenchmarkAblationEncoding compares the two full-ad encodings at the load
+// levels the paper discusses (DESIGN.md D5).
+func BenchmarkAblationEncoding(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		f := NewDefault()
+		rng := rand.New(rand.NewPCG(1, uint64(n)))
+		for i := 0; i < n; i++ {
+			f.AddKey(rng.Uint64())
+		}
+		b.Run("compressed/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = f.EncodeCompressed()
+			}
+			b.ReportMetric(float64(len(f.EncodeCompressed())), "wire-bytes")
+		})
+		b.Run("raw/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = f.EncodeRaw()
+			}
+			b.ReportMetric(float64(len(f.EncodeRaw())), "wire-bytes")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,79 @@
+package content
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Class is one of the 14 semantic categories the paper classifies eDonkey
+// files into (§IV-B step 2). Classes double as ad topics and peer
+// interests: "these semantic classes also define the universal set of peer
+// interests and ad topics".
+type Class uint8
+
+// NumClasses is the size of the universal topic set U.
+const NumClasses = 14
+
+// classNames gives human-readable labels for the 14 categories. The paper
+// does not enumerate its category names ("deduced from file name and
+// extension"); these follow the usual eDonkey media taxonomy.
+var classNames = [NumClasses]string{
+	"audio", "video", "software", "documents", "images", "archives",
+	"games", "ebooks", "source", "presentations", "spreadsheets",
+	"fonts", "subtitles", "misc",
+}
+
+// String returns the class label.
+func (c Class) String() string {
+	if int(c) < NumClasses {
+		return classNames[c]
+	}
+	return "invalid"
+}
+
+// ClassSet is a bitmask over the 14 classes: a node's interest set I(p) or
+// an ad's topic set T(a).
+type ClassSet uint16
+
+// Add returns the set with c included.
+func (s ClassSet) Add(c Class) ClassSet { return s | 1<<c }
+
+// Has reports whether c is in the set.
+func (s ClassSet) Has(c Class) bool { return s&(1<<c) != 0 }
+
+// Intersects reports whether the two sets overlap. "A node q is interested
+// in ad a if there is nonempty intersection between T(a) and I(q)"
+// (§III-B).
+func (s ClassSet) Intersects(t ClassSet) bool { return s&t != 0 }
+
+// Count returns the number of classes in the set.
+func (s ClassSet) Count() int { return bits.OnesCount16(uint16(s)) }
+
+// Empty reports whether the set is empty.
+func (s ClassSet) Empty() bool { return s == 0 }
+
+// Classes expands the set into a slice of classes in ascending order.
+func (s ClassSet) Classes() []Class {
+	out := make([]Class, 0, s.Count())
+	for c := Class(0); c < NumClasses; c++ {
+		if s.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the set as a comma-separated label list.
+func (s ClassSet) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	var b strings.Builder
+	for i, c := range s.Classes() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

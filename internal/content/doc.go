@@ -1,0 +1,30 @@
+// Package content models the content-distribution universe the paper's
+// trace is built from (§IV-B).
+//
+// The paper processes a November-2003 eDonkey snapshot [10] containing the
+// names of 923,000 files shared among 37,000 peers, classifies every file
+// into 14 semantic categories, derives per-peer interest sets from those
+// categories, and reports two key replication statistics: the average
+// number of copies per document is ≈1.28 and 89% of files have exactly one
+// copy in the whole network.
+//
+// That trace is not publicly available, so this package generates a
+// synthetic universe calibrated to every statistic the paper quotes
+// (DESIGN.md substitution E2):
+//
+//   - NumPeers peers, NumDocs distinct documents;
+//   - per-document copy counts: SingleCopyFrac of documents have one copy,
+//     the rest follow a geometric tail tuned so the global mean is
+//     AvgCopies;
+//   - 14 semantic classes with skewed popularity (some classes are shared
+//     by far more peers than others, Fig. 2);
+//   - interest clustering: a sharing peer's documents are drawn only from
+//     its interest classes, and its final interest set "contains all the
+//     semantic classes of its contents" exactly as the paper prescribes;
+//   - free-riders share nothing and receive random interests (Fig. 3);
+//   - per-class keyword vocabularies with Zipf-distributed keyword usage;
+//     a document carries the keywords "deduced from its name".
+//
+// The universe is immutable; the simulator layers dynamic per-node content
+// state (downloads, removals, joins) on top of it.
+package content

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sync"
+
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// adSnapshot is one published state of a node's ad (I, C, T, v). It is
+// immutable after publication; caches across the whole overlay share the
+// pointer. A patch ad with version v carries the changed-bit list from
+// v-1; a recipient at v-1 swaps to this snapshot, which is bit-identical
+// to applying that list.
+type adSnapshot struct {
+	src     overlay.NodeID
+	version uint16
+	topics  content.ClassSet
+	filter  *bloom.Filter // immutable; never mutate after publish
+
+	fullWire  int // wire bytes of the full-ad content encoding
+	patchWire int // wire bytes of the patch from the previous version
+}
+
+// cachedAd is one ads-cache entry: a snapshot pointer plus freshness.
+type cachedAd struct {
+	snap     *adSnapshot
+	lastSeen sim.Clock
+}
+
+// nodeState is the per-node ASAP state: own publication and the ads cache.
+// mu guards cache and published against concurrent Search calls; own
+// content bookkeeping (classCnt) is only touched from runner-serialised
+// callbacks.
+type nodeState struct {
+	mu        sync.Mutex
+	published *adSnapshot
+	cache     map[overlay.NodeID]cachedAd
+	fifo      []overlay.NodeID // insertion order for eviction
+	classCnt  [content.NumClasses]int32
+}
+
+// topicsFromCounts derives the node's current topic set T(a) = {t(d) | d ∈
+// D_p} from its per-class document counts.
+func (ns *nodeState) topicsFromCounts() content.ClassSet {
+	var s content.ClassSet
+	for c := 0; c < content.NumClasses; c++ {
+		if ns.classCnt[c] > 0 {
+			s = s.Add(content.Class(c))
+		}
+	}
+	return s
+}
+
+// storeOutcome reports what a cache store did, so the caller can account
+// follow-up traffic (full-ad refetch after a version gap).
+type storeOutcome uint8
+
+const (
+	storedOK      storeOutcome = iota // cached, updated, or refreshed
+	storedIgnored                     // not interesting / unknown patch source
+	storedGap                         // version gap: caller must fetch a full ad
+)
+
+// store merges an incoming ad into the cache under ns.mu. kind dictates
+// semantics:
+//
+//   - full: cache or replace when the version is not older;
+//   - patch: advance v-1 → v by snapshot swap; unknown source is ignored
+//     (the node never cached the full ad the patch amends); an older
+//     cached version is a gap;
+//   - refresh: bump freshness; a version mismatch is a gap.
+//
+// capacity enforcement evicts the oldest-inserted entry (FIFO).
+func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacity int) storeOutcome {
+	cur, ok := ns.cache[snap.src]
+	switch kind {
+	case adFull:
+		if ok && newerVersion(cur.snap.version, snap.version) {
+			// Cached version is newer (reordered delivery); keep it.
+			cur.lastSeen = now
+			ns.cache[snap.src] = cur
+			return storedOK
+		}
+		ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now}
+		if !ok {
+			ns.fifo = append(ns.fifo, snap.src)
+			ns.evictOver(capacity)
+		}
+		return storedOK
+	case adPatch:
+		if !ok {
+			return storedIgnored
+		}
+		if cur.snap.version+1 == snap.version {
+			ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now}
+			return storedOK
+		}
+		if newerVersion(snap.version, cur.snap.version) {
+			return storedGap
+		}
+		cur.lastSeen = now
+		ns.cache[snap.src] = cur
+		return storedOK
+	case adRefresh:
+		if !ok {
+			return storedIgnored
+		}
+		if cur.snap.version == snap.version {
+			cur.lastSeen = now
+			ns.cache[snap.src] = cur
+			return storedOK
+		}
+		if newerVersion(snap.version, cur.snap.version) {
+			return storedGap
+		}
+		cur.lastSeen = now
+		ns.cache[snap.src] = cur
+		return storedOK
+	}
+	return storedIgnored
+}
+
+// newerVersion reports whether a is strictly newer than b under 16-bit
+// serial-number arithmetic (RFC 1982 style), so versions survive wrap.
+func newerVersion(a, b uint16) bool {
+	return a != b && int16(a-b) > 0
+}
+
+// evictOver pops FIFO entries until the cache fits capacity.
+func (ns *nodeState) evictOver(capacity int) {
+	for len(ns.cache) > capacity && len(ns.fifo) > 0 {
+		victim := ns.fifo[0]
+		ns.fifo = ns.fifo[1:]
+		delete(ns.cache, victim)
+	}
+}
+
+// dropStale removes entries last seen before deadline. Called under mu.
+func (ns *nodeState) dropStale(deadline sim.Clock) {
+	if len(ns.cache) == 0 {
+		return
+	}
+	kept := ns.fifo[:0]
+	for _, src := range ns.fifo {
+		if e, ok := ns.cache[src]; ok {
+			if e.lastSeen < deadline {
+				delete(ns.cache, src)
+			} else {
+				kept = append(kept, src)
+			}
+		}
+	}
+	ns.fifo = kept
+}
+
+// adKind discriminates the three ad types of §III-B.
+type adKind uint8
+
+const (
+	adFull adKind = iota
+	adPatch
+	adRefresh
+)
+
+// wireBytes returns the on-wire message size of this snapshot under the
+// given ad kind.
+func (s *adSnapshot) wireBytes(kind adKind) int {
+	switch kind {
+	case adFull:
+		return sim.FullAdBytes(s.fullWire)
+	case adPatch:
+		return sim.PatchAdBytes(s.patchWire)
+	default:
+		return sim.RefreshAdBytes()
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"asap/internal/content"
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// deliver pushes one ad through the overlay under the configured
+// forwarding algorithm, caching it at every reached node whose interests
+// intersect targeting (the delivery topic set; normally the ad's own
+// topics, widened for patches). Deliveries run on the runner thread only.
+func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet) {
+	msgBytes := snap.wireBytes(kind)
+	var class metrics.MsgClass
+	switch kind {
+	case adFull:
+		class = metrics.MAdFull
+	case adPatch:
+		class = metrics.MAdPatch
+	default:
+		class = metrics.MAdRefresh
+	}
+
+	// Warm-up deliveries (t < 0) invest the full per-topic budget to seed
+	// the caches; everything published mid-run is an update of already-
+	// seeded state and spends a fraction of it.
+	budget := max(1, targeting.Count()) * s.cfg.BudgetUnit
+	if t >= 0 {
+		budget = max(1, budget/s.cfg.UpdateBudgetDiv)
+	}
+	switch s.cfg.Delivery {
+	case FLD:
+		s.deliverFlood(t, snap, kind, targeting, msgBytes)
+	case RW:
+		s.deliverWalk(t, snap, kind, targeting, msgBytes, s.walkStarts(snap.src, s.cfg.Walkers), budget)
+	case GSAKind:
+		seeds := s.liveNeighbors(snap.src)
+		s.deliverWalk(t, snap, kind, targeting, msgBytes, seeds, budget)
+	}
+	s.acc.Flush(s.sys, class)
+}
+
+// walkStarts returns w walker start points: the source's live neighbours,
+// cycled if w exceeds the neighbourhood.
+func (s *Scheme) walkStarts(src overlay.NodeID, w int) []overlay.NodeID {
+	live := s.liveNeighbors(src)
+	if len(live) == 0 {
+		return nil
+	}
+	starts := make([]overlay.NodeID, 0, w)
+	for i := 0; i < w; i++ {
+		starts = append(starts, live[i%len(live)])
+	}
+	return starts
+}
+
+// liveNeighbors returns n's live neighbours; in hierarchical mode only
+// super-peer neighbours qualify (ads travel the backbone; leaves neither
+// forward nor cache).
+func (s *Scheme) liveNeighbors(n overlay.NodeID) []overlay.NodeID {
+	var out []overlay.NodeID
+	for _, nb := range s.sys.G.Neighbors(n) {
+		if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// deliverFlood floods the ad with TTL FloodTTL and duplicate suppression;
+// every reached node applies it once.
+func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet, msgBytes int) {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	type item struct {
+		node overlay.NodeID
+		hop  int
+	}
+	queue := []item{{snap.src, 0}}
+	s.stamp[snap.src] = s.epoch
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.node != snap.src {
+			s.applyAd(t, it.node, snap, kind, targeting)
+		}
+		if it.hop >= s.cfg.FloodTTL {
+			continue
+		}
+		for _, nb := range s.sys.G.Neighbors(it.node) {
+			if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
+				continue
+			}
+			s.acc.Add(t, msgBytes) // the copy is sent even to nodes that saw it
+			if s.stamp[nb] == s.epoch {
+				continue
+			}
+			s.stamp[nb] = s.epoch
+			queue = append(queue, item{nb, it.hop + 1})
+		}
+	}
+}
+
+// deliverWalk forwards the ad along random walks from the given start
+// nodes under a total message budget split evenly across walkers. Every
+// visited node applies the ad (re-applications only bump freshness).
+func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet, msgBytes int, starts []overlay.NodeID, budget int) {
+	if len(starts) == 0 {
+		return
+	}
+	perWalker := budget / len(starts)
+	if perWalker < 1 {
+		perWalker = 1
+	}
+	for _, start := range starts {
+		cur, prev := start, snap.src
+		s.acc.Add(t, msgBytes) // source → start
+		s.applyAd(t, cur, snap, kind, targeting)
+		for step := 1; step < perWalker; step++ {
+			next := s.pickNextHop(cur, prev, targeting)
+			if next < 0 {
+				break
+			}
+			prev, cur = cur, next
+			s.acc.Add(t, msgBytes)
+			if cur != snap.src {
+				s.applyAd(t, cur, snap, kind, targeting)
+			}
+		}
+	}
+}
+
+// pickNextHop chooses a delivery walker's next hop. With BiasedDelivery
+// it prefers neighbours whose (group) interests intersect the ad's
+// targeting topics, steering ads toward potential consumers at equal
+// budget; otherwise it falls back to the uniform pick.
+func (s *Scheme) pickNextHop(cur, prev overlay.NodeID, targeting content.ClassSet) overlay.NodeID {
+	if !s.cfg.BiasedDelivery {
+		return s.pickLiveNeighbor(cur, prev)
+	}
+	nbs := s.sys.G.Neighbors(cur)
+	interested, other := 0, 0
+	for _, nb := range nbs {
+		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) || nb == prev {
+			continue
+		}
+		if s.groupInterests(nb).Intersects(targeting) {
+			interested++
+		} else {
+			other++
+		}
+	}
+	if interested == 0 && other == 0 {
+		return s.pickLiveNeighbor(cur, prev) // only prev (or nothing) left
+	}
+	wantInterested := interested > 0
+	pool := interested
+	if !wantInterested {
+		pool = other
+	}
+	k := s.rng.IntN(pool)
+	for _, nb := range nbs {
+		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) || nb == prev {
+			continue
+		}
+		if s.groupInterests(nb).Intersects(targeting) != wantInterested {
+			continue
+		}
+		if k == 0 {
+			return nb
+		}
+		k--
+	}
+	return -1 // unreachable
+}
+
+// pickLiveNeighbor picks a uniformly random live neighbour of cur,
+// avoiding an immediate return to prev when alternatives exist.
+func (s *Scheme) pickLiveNeighbor(cur, prev overlay.NodeID) overlay.NodeID {
+	nbs := s.sys.G.Neighbors(cur)
+	liveN, liveNotPrev := 0, 0
+	for _, nb := range nbs {
+		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
+			continue
+		}
+		liveN++
+		if nb != prev {
+			liveNotPrev++
+		}
+	}
+	if liveN == 0 {
+		return -1
+	}
+	if liveNotPrev == 0 {
+		return prev
+	}
+	k := s.rng.IntN(liveNotPrev)
+	for _, nb := range nbs {
+		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) || nb == prev {
+			continue
+		}
+		if k == 0 {
+			return nb
+		}
+		k--
+	}
+	return -1
+}
+
+// applyAd lets node v react to an arriving ad: cache it when interesting,
+// and resolve version gaps by fetching the source's current full ad
+// directly (a control request plus a full-ad reply).
+func (s *Scheme) applyAd(t sim.Clock, v overlay.NodeID, snap *adSnapshot, kind adKind, targeting content.ClassSet) {
+	if !s.cacheEligible(v) || !s.groupInterests(v).Intersects(targeting) {
+		return
+	}
+	ns := &s.nodes[v]
+	ns.mu.Lock()
+	outcome := ns.store(snap, kind, t, s.cfg.CacheCapacity)
+	ns.mu.Unlock()
+	if outcome != storedGap {
+		return
+	}
+	// Version gap: v's copy is too old to patch. Fetch the current full ad
+	// from the source (alive: it just sent this ad).
+	cur := s.publishedSnapshot(snap.src)
+	if cur == nil {
+		return
+	}
+	s.sys.Account(t, metrics.MControl, sim.HeaderBytes)
+	s.sys.Account(t, metrics.MAdFull, cur.wireBytes(adFull))
+	ns.mu.Lock()
+	ns.store(cur, adFull, t, s.cfg.CacheCapacity)
+	ns.mu.Unlock()
+}

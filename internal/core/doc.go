@@ -1,0 +1,51 @@
+// Package core implements ASAP, the paper's contribution (§III): a
+// content-pushing, advertisement-based search algorithm for unstructured
+// P2P systems.
+//
+// # Ads
+//
+// An ad is a tuple (I, C, T, v): node identity, content information, topic
+// set and a 16-bit version (§III-B). Three ad types exist:
+//
+//   - full ad — complete content indices as a fixed-geometry Bloom filter
+//     over the node's keyword set;
+//   - patch ad — the incremental index change since the last update, a
+//     list of changed filter-bit locations;
+//   - refresh ad — empty content information, asserting liveness and the
+//     current version.
+//
+// Internally each publication is materialised once as an immutable
+// adSnapshot; caches hold pointers. Applying a patch at a cache is a
+// pointer swap to the successor snapshot — bit-for-bit identical to
+// applying the changed-bit list the wire carries, but O(1) and allocation-
+// free per recipient. Wire sizes are still charged from the real
+// encodings (compressed filter for full ads, changed-bit list for patch
+// ads).
+//
+// # Delivery
+//
+// Ads are delivered by one of three forwarding algorithms (§IV-A):
+// flooding with TTL 6 (ASAP(FLD)), 5 random walkers (ASAP(RW)), or a
+// GSA-style seeded walk (ASAP(GSA)). For the budgeted schemes the total
+// message allowance of one delivery is |T(a)|·M₀ with M₀ = 3,000. A node
+// receiving an ad caches it iff the ad's topics intersect its interests.
+// Caches are capacity-bounded with FIFO eviction, and entries not
+// refreshed within a staleness window are dropped lazily.
+//
+// # Search (Table I)
+//
+// A request first scans the local ads cache for filters matching all query
+// terms and confirms the best candidates directly with the ad sources
+// (one-hop search; confirmations are sent in parallel and checked against
+// the source's real contents, so Bloom false positives and departed
+// sources surface as negative/absent replies). If the cache yields
+// nothing, the node requests interest-matching ads from every peer within
+// h hops (default 1), merges the replies into its cache, and retries —
+// the same ads-request flow a freshly joined node runs.
+//
+// # Churn and updates
+//
+// Content changes republish a patch ad; joins publish a full ad and pull
+// neighbour ads; departures are silent (ungraceful) — stale ads linger
+// until refresh-based expiry, exactly the failure mode §III-C discusses.
+package core

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// Scheme is the ASAP search algorithm as a pluggable sim.Scheme. Create
+// one per run with New; a Scheme is bound to a single system by Attach.
+type Scheme struct {
+	cfg   Config
+	sys   *sim.System
+	nodes []nodeState
+
+	// wheel[slot] lists nodes whose refresh ad fires at seconds ≡ slot
+	// (mod RefreshPeriodSec), spreading refresh traffic evenly.
+	wheel [][]overlay.NodeID
+
+	// Runner-thread-only state for ad deliveries.
+	rng   *rand.Rand
+	acc   sim.SecAccumulator
+	stamp []uint32
+	epoch uint32
+}
+
+// New returns an ASAP scheme with the given configuration. It panics on an
+// invalid configuration.
+func New(cfg Config) *Scheme {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Scheme{cfg: cfg}
+}
+
+// Name implements sim.Scheme: "asap-fld", "asap-rw" or "asap-gsa".
+func (s *Scheme) Name() string { return fmt.Sprintf("asap-%s", s.cfg.Delivery) }
+
+// Config returns the scheme's configuration.
+func (s *Scheme) Config() Config { return s.cfg }
+
+// LoadMask implements sim.Scheme: ASAP's system load counts ad deliveries
+// plus search-related confirmation and ads-request traffic (§V-B).
+func (s *Scheme) LoadMask() metrics.ClassMask { return metrics.ASAPLoadMask }
+
+// Attach implements sim.Scheme: it initialises per-node state and performs
+// the warm-up ad distribution — every initially-live sharer publishes and
+// delivers its full ad before the trace starts (accounted as warm-up, not
+// system load; the paper measures load on a warmed-up system).
+func (s *Scheme) Attach(sys *sim.System) {
+	if s.cfg.Hierarchical && sys.G.Kind() != overlay.SuperPeerKind {
+		panic("core: Hierarchical config requires an overlay.SuperPeerKind graph")
+	}
+	s.sys = sys
+	n := sys.NumNodes()
+	s.nodes = make([]nodeState, n)
+	s.rng = rand.New(rand.NewPCG(s.cfg.Seed, 0x5851f42d4c957f2d))
+	s.stamp = make([]uint32, n)
+	if s.cfg.RefreshPeriodSec > 0 {
+		s.wheel = make([][]overlay.NodeID, s.cfg.RefreshPeriodSec)
+	}
+
+	for v := 0; v < n; v++ {
+		ns := &s.nodes[v]
+		ns.cache = make(map[overlay.NodeID]cachedAd)
+		for _, d := range sys.Docs(overlay.NodeID(v)) {
+			ns.classCnt[sys.U.ClassOf(d)]++
+		}
+		if s.wheel != nil {
+			slot := v % s.cfg.RefreshPeriodSec
+			s.wheel[slot] = append(s.wheel[slot], overlay.NodeID(v))
+		}
+	}
+	for v := 0; v < sys.InitialLive(); v++ {
+		node := overlay.NodeID(v)
+		if s.repr(node) != node {
+			continue // leaves are represented by their super peer
+		}
+		if snap := s.publish(node); snap != nil {
+			s.deliver(-1, snap, adFull, snap.topics)
+		}
+	}
+}
+
+// publish materialises node n's current ad snapshot and installs it as the
+// node's published ad. It returns nil when the node has nothing to
+// advertise and never had ("free-riders have a null content filter, thus
+// having nothing to advertise"), or when nothing changed since the last
+// publication.
+func (s *Scheme) publish(n overlay.NodeID) *adSnapshot {
+	ns := &s.nodes[n]
+	f := s.buildFilter(n)
+	topics := ns.topicsFromCounts()
+	if s.cfg.Hierarchical {
+		topics = s.groupTopics(n)
+	}
+
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	old := ns.published
+	if old == nil && f.Empty() {
+		return nil
+	}
+	version := uint16(1)
+	patchWire := 0
+	if old != nil {
+		if old.filter.Bits() == f.Bits() {
+			patch := old.filter.Diff(f)
+			if patch.Empty() && old.topics == topics {
+				return nil // no index change worth advertising
+			}
+			patchWire = patch.WireSize()
+		} else {
+			// Variable sizing crossed a pool boundary: no patch exists
+			// across geometries, so the update ships as a full ad.
+			patchWire = f.WireSize()
+		}
+		version = old.version + 1
+	}
+	snap := &adSnapshot{
+		src:       n,
+		version:   version,
+		topics:    topics,
+		filter:    f,
+		fullWire:  f.WireSize(),
+		patchWire: patchWire,
+	}
+	ns.published = snap
+	return snap
+}
+
+// buildFilter assembles node n's content filter from its current
+// documents under the configured sizing strategy.
+func (s *Scheme) buildFilter(n overlay.NodeID) *bloom.Filter {
+	if !s.cfg.VariableFilters {
+		f := bloom.NewDefault()
+		s.eachGroupMember(n, func(m overlay.NodeID) bool {
+			for _, d := range s.sys.Docs(m) {
+				for _, kw := range s.sys.U.Keywords(d) {
+					f.AddKey(uint64(kw))
+				}
+			}
+			return true
+		})
+		return f
+	}
+	// Variable sizing needs |K_p| first: collect the distinct keyword set,
+	// then size the filter from the shared pool.
+	seen := make(map[content.Keyword]struct{}, 64)
+	s.eachGroupMember(n, func(m overlay.NodeID) bool {
+		for _, d := range s.sys.Docs(m) {
+			for _, kw := range s.sys.U.Keywords(d) {
+				seen[kw] = struct{}{}
+			}
+		}
+		return true
+	})
+	f := bloom.NewSized(len(seen))
+	for kw := range seen {
+		f.AddKey(uint64(kw))
+	}
+	return f
+}
+
+// publishedSnapshot returns node n's current published ad (nil if none).
+func (s *Scheme) publishedSnapshot(n overlay.NodeID) *adSnapshot {
+	ns := &s.nodes[n]
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.published
+}
+
+// ContentChanged implements sim.Scheme: the node republishes and delivers
+// a patch ad (or its first full ad, if it previously advertised nothing).
+// Patch targeting uses the union of old and new topics so removals reach
+// the caches that hold the ad.
+func (s *Scheme) ContentChanged(t sim.Clock, n overlay.NodeID, d content.DocID, added bool) {
+	ns := &s.nodes[n]
+	cls := s.sys.U.ClassOf(d)
+	if added {
+		ns.classCnt[cls]++
+	} else if ns.classCnt[cls] > 0 {
+		ns.classCnt[cls]--
+	}
+	if !s.sys.G.Alive(n) {
+		return
+	}
+	s.republishAndDeliver(t, s.repr(n))
+}
+
+// NodeJoined implements sim.Scheme: the joiner advertises a full ad and
+// pulls interesting ads from its neighbourhood — "the same ads requesting
+// process as the one when a brand new node joins" (§III-C).
+func (s *Scheme) NodeJoined(t sim.Clock, n overlay.NodeID) {
+	if s.cfg.Hierarchical {
+		// The joiner attaches as a leaf; its contents fold into the parent
+		// super peer's aggregate ad. Leaves neither cache nor pull ads.
+		s.republishAndDeliver(t, s.repr(n))
+		return
+	}
+	if snap := s.publish(n); snap != nil {
+		s.deliver(t, snap, adFull, snap.topics)
+	}
+	s.adsRequest(t, n, nil)
+}
+
+// NodeLeft implements sim.Scheme: departures are ungraceful; the node's
+// ads elsewhere go stale until refresh-based expiry (or until a failed
+// confirmation drops them). In hierarchical mode a departing super peer's
+// leaves are re-homed by the overlay; their new parents republish so the
+// migrated contents become findable again.
+func (s *Scheme) NodeLeft(t sim.Clock, n overlay.NodeID) {
+	if !s.cfg.Hierarchical {
+		return
+	}
+	seen := map[overlay.NodeID]bool{}
+	for _, leaf := range s.sys.G.TakeRehomed() {
+		rp := s.repr(leaf)
+		if rp >= 0 && !seen[rp] {
+			seen[rp] = true
+			s.republishAndDeliver(t, rp)
+		}
+	}
+}
+
+// Tick implements sim.Scheme: fires the refresh wheel slot due this
+// second.
+func (s *Scheme) Tick(t sim.Clock) {
+	if s.wheel == nil {
+		return
+	}
+	slot := int(t/1000) % s.cfg.RefreshPeriodSec
+	for _, n := range s.wheel[slot] {
+		if !s.sys.G.Alive(n) || s.repr(n) != n {
+			continue
+		}
+		// Reconcile first: hierarchical groups drift when leaves depart
+		// silently (flat nodes never drift here — every content change is
+		// evented — so publish returns nil and a plain refresh goes out).
+		if snap := s.publish(n); snap != nil {
+			s.deliver(t, snap, adPatch, snap.topics)
+			continue
+		}
+		if snap := s.publishedSnapshot(n); snap != nil {
+			s.deliver(t, snap, adRefresh, snap.topics)
+		}
+	}
+}
+
+// CacheSize returns node n's current ads-cache population (diagnostics).
+func (s *Scheme) CacheSize(n overlay.NodeID) int {
+	ns := &s.nodes[n]
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.cache)
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"sort"
+
+	"asap/internal/content"
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// candidate is a confirmable ad match: the source to confirm with, the
+// moment the requester can send (t0, or the arrival of the ads reply that
+// carried the ad), and the round-trip time to the source.
+type candidate struct {
+	src   overlay.NodeID
+	avail sim.Clock
+	rtt   sim.Clock
+}
+
+// Search implements sim.Scheme: the ASAP_search algorithm of Table I.
+// Phase 1 scans the local ads cache and confirms the best matches with the
+// ad sources (one-hop search). If that yields nothing, phase 2 requests
+// interest-matching ads from all peers within AdsRequestHops, merges the
+// replies into the cache, and confirms again.
+func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
+	p := ev.Node
+	t0 := ev.Time
+	keys := termKeys(ev.Terms)
+
+	// Hierarchical mode: a leaf routes its request through its super peer
+	// (one extra round trip and two extra messages); the search proper
+	// then runs at the super peer.
+	uplinkMS := sim.Clock(0)
+	var uplinkBytes int64
+	extraHops := 0
+	if rp := s.repr(p); rp != p {
+		if rp < 0 {
+			return metrics.SearchResult{} // detached leaf: nowhere to route
+		}
+		uplinkMS = sim.Clock(s.sys.Latency(p, rp))
+		up := sim.QueryBytes(len(ev.Terms))
+		down := sim.QueryHitBytes()
+		s.sys.Account(t0, metrics.MConfirm, up+down)
+		uplinkBytes = int64(up + down)
+		extraHops = 1
+		p = rp
+		t0 += uplinkMS
+	}
+
+	ns := &s.nodes[p]
+	ns.mu.Lock()
+	if s.cfg.RefreshPeriodSec > 0 {
+		window := sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec) * 1000
+		ns.dropStale(t0 - window)
+	}
+	var cands []candidate
+	for src, e := range ns.cache {
+		if e.snap.filter.ContainsAllKeys(keys) {
+			cands = append(cands, candidate{src: src, avail: t0, rtt: 2 * sim.Clock(s.sys.Latency(p, src))})
+		}
+	}
+	ns.mu.Unlock()
+
+	var bytes int64
+	confirmed := make(map[overlay.NodeID]bool)
+	hits, resp, b := s.confirmRound(p, ev.Terms, cands, confirmed)
+	bytes += b + uplinkBytes
+	// Table I: phase 2 runs when the cache yielded nothing, or when "more
+	// responses [are] needed" than phase 1 confirmed.
+	if hits >= s.cfg.MinResults || s.cfg.AdsRequestHops == 0 {
+		if hits > 0 {
+			return metrics.SearchResult{Success: true, ResponseMS: resp - t0 + 2*uplinkMS, Bytes: bytes, Hops: 1 + extraHops, Hits: hits}
+		}
+		return metrics.SearchResult{Bytes: bytes}
+	}
+
+	// Phase 2: pull ads from the h-hop neighbourhood and retry.
+	more, b2 := s.adsRequest(t0, p, keys)
+	bytes += b2
+	fresh := more[:0]
+	for _, c := range more {
+		if !confirmed[c.src] {
+			fresh = append(fresh, c)
+		}
+	}
+	hits2, resp2, b := s.confirmRound(p, ev.Terms, fresh, confirmed)
+	bytes += b
+	if hits+hits2 == 0 {
+		return metrics.SearchResult{Bytes: bytes}
+	}
+	// The first answer wins: a phase-1 hit keeps its one-hop latency even
+	// when phase 2 only ran for additional results.
+	hops := 1 + extraHops
+	if hits == 0 {
+		resp = resp2
+		hops = 2 + extraHops
+	} else if hits2 > 0 && resp2 < resp {
+		resp = resp2
+	}
+	return metrics.SearchResult{Success: true, ResponseMS: resp - t0 + 2*uplinkMS, Bytes: bytes, Hops: hops, Hits: hits + hits2}
+}
+
+// confirmRound sends content confirmations to up to MaxConfirms candidates
+// in parallel and returns the number of positive replies, the earliest
+// positive reply time, and the traffic spent. Confirmations are checked
+// against the source's real contents, so Bloom false positives,
+// out-of-date filters and departed sources all surface here. All
+// candidates tried are recorded in confirmed.
+func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands []candidate, confirmed map[overlay.NodeID]bool) (int, sim.Clock, int64) {
+	if len(cands) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.avail+a.rtt != b.avail+b.rtt {
+			return a.avail+a.rtt < b.avail+b.rtt
+		}
+		return a.src < b.src
+	})
+	if len(cands) > s.cfg.MaxConfirms {
+		cands = cands[:s.cfg.MaxConfirms]
+	}
+
+	var bytes int64
+	best := sim.Clock(-1)
+	positives := 0
+	for _, c := range cands {
+		confirmed[c.src] = true
+		cb := sim.ConfirmBytes(len(terms))
+		s.sys.Account(c.avail, metrics.MConfirm, cb)
+		bytes += int64(cb)
+		if !s.sys.G.Alive(c.src) {
+			// Source departed: the confirmation times out. Drop the dead
+			// ad so later searches stop paying for it — on-demand liveness
+			// detection complementing refresh-based expiry.
+			ns := &s.nodes[p]
+			ns.mu.Lock()
+			delete(ns.cache, c.src)
+			ns.mu.Unlock()
+			continue
+		}
+		rb := sim.ConfirmReplyBytes()
+		s.sys.Account(c.avail, metrics.MConfirm, rb)
+		bytes += int64(rb)
+		if !s.groupMatches(c.src, terms) {
+			continue // false positive or stale index: negative reply
+		}
+		positives++
+		if reply := c.avail + c.rtt; best < 0 || reply < best {
+			best = reply
+		}
+	}
+	return positives, best, bytes
+}
+
+// adsRequest floods an ads request over the h-hop neighbourhood of p,
+// merges the replied ads into p's cache, and returns the candidates among
+// them that match keys. The second result is the traffic this cost.
+//
+// Reply contents depend on the request flavour. A join-time pull
+// (keys == nil) returns every cached ad whose topics intersect the
+// requester's interests, exactly Table I's requestAdFromNeighbors(i, h,
+// I(p)). A search-time pull additionally has the neighbour filter its
+// cache against the query terms — the neighbour runs the same Bloom match
+// the requester would run on the replied set, so only useful ads travel.
+// This keeps miss-path replies a few ads instead of the neighbour's whole
+// interest-overlapping cache; the requester's subsequent lookup over the
+// replied ads is unchanged. Neighbours never serve entries their own
+// staleness window has expired.
+func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, keys []uint64) ([]candidate, int64) {
+	targets, reqMsgs := s.hopNeighborhood(p, s.cfg.AdsRequestHops)
+	if len(targets) == 0 {
+		return nil, 0
+	}
+	bytes := int64(reqMsgs) * int64(sim.AdsRequestBytes())
+	s.sys.Account(t, metrics.MAdsRequest, int(bytes))
+
+	staleBefore := sim.Clock(minClock)
+	if s.cfg.RefreshPeriodSec > 0 {
+		staleBefore = t - sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec)*1000
+	}
+	interests := s.groupInterests(p)
+	type offer struct {
+		snap  *adSnapshot
+		avail sim.Clock
+	}
+	var offers []offer
+	for _, tg := range targets {
+		q := &s.nodes[tg.node]
+		q.mu.Lock()
+		payload := 0
+		count := 0
+		appendOffer := func(snap *adSnapshot) bool {
+			if count >= s.cfg.MaxAdsPerReply {
+				return false
+			}
+			if snap.src == p || !snap.topics.Intersects(interests) {
+				return true
+			}
+			if keys != nil && !snap.filter.ContainsAllKeys(keys) {
+				return true
+			}
+			payload += sim.AdHeaderBytes + snap.fullWire
+			count++
+			offers = append(offers, offer{snap: snap, avail: t + tg.pathLat + sim.Clock(s.sys.Latency(tg.node, p))})
+			return true
+		}
+		if q.published != nil {
+			appendOffer(q.published)
+		}
+		for _, e := range q.cache {
+			if e.lastSeen < staleBefore {
+				continue
+			}
+			if !appendOffer(e.snap) {
+				break
+			}
+		}
+		q.mu.Unlock()
+		reply := sim.AdsReplyBytes(payload)
+		s.sys.Account(t, metrics.MAdsRequest, reply)
+		bytes += int64(reply)
+	}
+
+	// Merge all offered ads into p's cache, collecting term matches.
+	ns := &s.nodes[p]
+	var cands []candidate
+	seen := make(map[overlay.NodeID]int)
+	ns.mu.Lock()
+	for _, of := range offers {
+		ns.store(of.snap, adFull, of.avail, s.cfg.CacheCapacity)
+		if keys != nil && of.snap.filter.ContainsAllKeys(keys) {
+			if i, dup := seen[of.snap.src]; dup {
+				if of.avail < cands[i].avail {
+					cands[i].avail = of.avail
+				}
+				continue
+			}
+			seen[of.snap.src] = len(cands)
+			cands = append(cands, candidate{
+				src:   of.snap.src,
+				avail: of.avail,
+				rtt:   2 * sim.Clock(s.sys.Latency(p, of.snap.src)),
+			})
+		}
+	}
+	ns.mu.Unlock()
+	return cands, bytes
+}
+
+// hopTarget is one reachable peer of an ads request with the one-way
+// request path latency.
+type hopTarget struct {
+	node    overlay.NodeID
+	pathLat sim.Clock
+}
+
+// hopNeighborhood returns the live peers within h hops of p (excluding p)
+// and the number of request messages a duplicate-suppressed flood to that
+// radius sends.
+func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int) ([]hopTarget, int) {
+	if h <= 0 {
+		return nil, 0
+	}
+	if h == 1 {
+		// The common case: direct neighbours, one request each.
+		var out []hopTarget
+		for _, nb := range s.sys.G.Neighbors(p) {
+			if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
+				out = append(out, hopTarget{node: nb, pathLat: sim.Clock(s.sys.Latency(p, nb))})
+			}
+		}
+		return out, len(out)
+	}
+	type bfsEntry struct {
+		lat sim.Clock
+		hop int
+	}
+	seen := map[overlay.NodeID]bfsEntry{p: {}}
+	frontier := []overlay.NodeID{p}
+	msgs := 0
+	var out []hopTarget
+	for hop := 1; hop <= h && len(frontier) > 0; hop++ {
+		var next []overlay.NodeID
+		for _, u := range frontier {
+			for _, nb := range s.sys.G.Neighbors(u) {
+				if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
+					continue
+				}
+				msgs++
+				if _, dup := seen[nb]; dup {
+					continue
+				}
+				e := bfsEntry{lat: seen[u].lat + sim.Clock(s.sys.Latency(u, nb)), hop: hop}
+				seen[nb] = e
+				out = append(out, hopTarget{node: nb, pathLat: e.lat})
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return out, msgs
+}
+
+// minClock is the lowest representable virtual time; used to disable the
+// staleness filter when refreshing is off.
+const minClock = -1 << 62
+
+// termKeys converts query terms to the Bloom layer's integer key domain.
+func termKeys(terms []content.Keyword) []uint64 {
+	keys := make([]uint64, len(terms))
+	for i, t := range terms {
+		keys[i] = uint64(t)
+	}
+	return keys
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asap/internal/bloom"
+	"asap/internal/overlay"
+)
+
+// storeOp is one randomly generated cache interaction.
+type storeOp struct {
+	Src     uint8
+	Version uint8 // kept small so sequences and gaps both occur
+	Kind    uint8
+	Time    uint16
+}
+
+// TestStoreInvariantsProperty drives a nodeState cache with arbitrary
+// operation sequences and checks the structural invariants:
+//
+//   - the cache never exceeds capacity;
+//   - fifo lists exactly the cached sources, no duplicates;
+//   - a cached entry's version never moves backwards;
+//   - lastSeen never decreases for a surviving entry.
+func TestStoreInvariantsProperty(t *testing.T) {
+	const capacity = 8
+	prop := func(ops []storeOp) bool {
+		ns := newNS()
+		lastVersion := map[overlay.NodeID]uint16{}
+		lastSeen := map[overlay.NodeID]int64{}
+		now := int64(0)
+		for _, op := range ops {
+			now += int64(op.Time) // replay time is monotonic
+			src := overlay.NodeID(op.Src % 16)
+			kind := adKind(op.Kind % 3)
+			f := bloom.New(64, 2)
+			sn := &adSnapshot{src: src, version: uint16(op.Version), topics: 1, filter: f, fullWire: 8, patchWire: 4}
+			ns.store(sn, kind, now, capacity)
+
+			if len(ns.cache) > capacity {
+				return false
+			}
+			if len(ns.fifo) != len(ns.cache) {
+				return false
+			}
+			seen := map[overlay.NodeID]bool{}
+			for _, k := range ns.fifo {
+				if seen[k] {
+					return false
+				}
+				seen[k] = true
+				if _, ok := ns.cache[k]; !ok {
+					return false
+				}
+			}
+			for k, e := range ns.cache {
+				if prev, ok := lastVersion[k]; ok && newerVersion(prev, e.snap.version) {
+					return false // version went backwards
+				}
+				lastVersion[k] = e.snap.version
+				if prev, ok := lastSeen[k]; ok && e.lastSeen < prev {
+					return false
+				}
+				lastSeen[k] = e.lastSeen
+			}
+			// Entries that vanished (evicted) reset their history.
+			for k := range lastVersion {
+				if _, ok := ns.cache[k]; !ok {
+					delete(lastVersion, k)
+					delete(lastSeen, k)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStoreGapAlwaysRecoverable: after any gap outcome, storing the
+// source's current full snapshot always lands the cache at that version.
+func TestStoreGapAlwaysRecoverable(t *testing.T) {
+	prop := func(haveV, newV uint16) bool {
+		ns := newNS()
+		ns.store(snap(1, haveV, 1), adFull, 0, 8)
+		outcome := ns.store(snap(1, newV, 1), adPatch, 1, 8)
+		if outcome == storedGap {
+			cur := snap(1, newV, 1)
+			ns.store(cur, adFull, 2, 8)
+			return ns.cache[1].snap.version == newV
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNewerVersionProperty: serial-number comparison is antisymmetric and
+// irreflexive.
+func TestNewerVersionProperty(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		if a == b {
+			return !newerVersion(a, b) && !newerVersion(b, a)
+		}
+		// Exactly at the half-range boundary both directions are "older"
+		// (RFC 1982 leaves it undefined); elsewhere exactly one wins.
+		if uint16(a-b) == 1<<15 {
+			return true
+		}
+		return newerVersion(a, b) != newerVersion(b, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

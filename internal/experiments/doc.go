@@ -1,0 +1,24 @@
+// Package experiments reproduces the paper's evaluation section (§V):
+// given a scale preset it builds the shared inputs (physical network,
+// content universe, trace) once, runs any scheme × topology combination,
+// and formats the same series every figure reports.
+//
+// Figure index (see DESIGN.md for the full mapping):
+//
+//	Fig. 2  — peers per semantic class over the selected participants
+//	Fig. 3  — peers per interest
+//	Fig. 4  — search success rate, 6 schemes × 3 topologies
+//	Fig. 5  — mean response time over successful searches
+//	Fig. 6  — bandwidth per search (log-scale in the paper)
+//	Fig. 7  — ASAP(RW) system-load breakdown by message class
+//	Fig. 8  — mean system load, KB/node/s
+//	Fig. 9  — system-load standard deviation
+//	Fig. 10 — real-time load, a 100-second snapshot, crawled topology
+//
+// Two presets exist: ScaleFull is the paper's configuration (51,984
+// physical nodes, 10,000 peers, 30,000 requests) and is meant for
+// cmd/experiments; ScaleSmall is a 1/10 linear reduction whose
+// size-coupled ASAP knobs (delivery budget M₀, cache capacity, refresh
+// period) shrink by the same factor, preserving the comparative shape at
+// bench-friendly cost.
+package experiments

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"asap/internal/content"
+	"asap/internal/core"
+	"asap/internal/metrics"
+	"asap/internal/netmodel"
+	"asap/internal/overlay"
+	"asap/internal/search"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// SchemeNames lists the six schemes of the comparison figures, in the
+// paper's order.
+var SchemeNames = []string{"flooding", "random-walk", "gsa", "asap-fld", "asap-rw", "asap-gsa"}
+
+// Lab owns the shared inputs of one scale preset: generating the physical
+// network, the content universe and the trace is expensive, so one Lab is
+// reused across all scheme × topology runs. Runs themselves are
+// independent (each builds a fresh overlay and system).
+type Lab struct {
+	Scale Scale
+	Net   *netmodel.Network
+	U     *content.Universe
+	Tr    *trace.Trace
+}
+
+// NewLab builds the shared inputs for a scale preset.
+func NewLab(sc Scale) (*Lab, error) {
+	sc.Net.Seed = sc.Seed
+	sc.Content.Seed = sc.Seed
+	sc.Trace.Seed = sc.Seed
+	net := netmodel.Generate(sc.Net)
+	u := content.Generate(sc.Content)
+	tr, err := trace.Build(u, sc.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building trace: %w", err)
+	}
+	return &Lab{Scale: sc, Net: net, U: u, Tr: tr}, nil
+}
+
+// NewScheme constructs a named scheme configured for this lab's scale.
+func (l *Lab) NewScheme(name string) (sim.Scheme, error) {
+	switch name {
+	case "flooding":
+		return search.NewFlooding(), nil
+	case "random-walk":
+		return search.NewRandomWalk(l.Scale.Seed), nil
+	case "gsa":
+		return search.NewGSA(l.Scale.Seed), nil
+	case "asap-fld":
+		return core.New(l.Scale.ASAPConfig(core.FLD)), nil
+	case "asap-rw":
+		return core.New(l.Scale.ASAPConfig(core.RW)), nil
+	case "asap-gsa":
+		return core.New(l.Scale.ASAPConfig(core.GSAKind)), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// Run replays the lab's trace under one scheme on one topology.
+func (l *Lab) Run(schemeName string, topo overlay.Kind) (metrics.Summary, error) {
+	sch, err := l.NewScheme(schemeName)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	sys := sim.NewSystem(l.U, l.Tr, topo, l.Net, l.Scale.Seed)
+	return sim.Run(sys, sch, sim.RunOptions{Workers: l.Scale.Workers}), nil
+}
+
+// Matrix holds one Summary per scheme × topology.
+type Matrix map[string]map[overlay.Kind]metrics.Summary
+
+// RunMatrix runs every given scheme on every given topology. Nil slices
+// select the full paper matrix. Progress, if non-nil, is invoked before
+// each run.
+func (l *Lab) RunMatrix(schemes []string, topos []overlay.Kind, progress func(scheme string, topo overlay.Kind)) (Matrix, error) {
+	if schemes == nil {
+		schemes = SchemeNames
+	}
+	if topos == nil {
+		topos = overlay.Kinds
+	}
+	m := make(Matrix, len(schemes))
+	for _, s := range schemes {
+		m[s] = make(map[overlay.Kind]metrics.Summary, len(topos))
+		for _, k := range topos {
+			if progress != nil {
+				progress(s, k)
+			}
+			sum, err := l.Run(s, k)
+			if err != nil {
+				return nil, err
+			}
+			m[s][k] = sum
+		}
+	}
+	return m, nil
+}
+
+// Participants returns the universe peers selected as initial overlay
+// participants — the population Figs. 2 and 3 describe.
+func (l *Lab) Participants() []content.PeerID {
+	return l.Tr.Peers[:l.Tr.InitialLive]
+}
+
+// Fig2 returns the number of selected peers whose contents fall in each
+// semantic class.
+func (l *Lab) Fig2() [content.NumClasses]int {
+	return l.U.ContentClassCounts(l.Participants())
+}
+
+// Fig3 returns the number of selected peers interested in each class.
+func (l *Lab) Fig3() [content.NumClasses]int {
+	return l.U.InterestCounts(l.Participants())
+}
+
+// SortedKinds returns topology kinds in paper order (helper for stable
+// output).
+func SortedKinds(m map[overlay.Kind]metrics.Summary) []overlay.Kind {
+	out := make([]overlay.Kind, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,124 @@
+package netmodel
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// loc resolves a PhysID into its position in the hierarchy.
+type loc struct {
+	transit bool
+	domain  int32 // stub-domain index (stub nodes only)
+	local   int32 // index within the stub domain, or transit node index
+}
+
+func (nw *Network) locate(id PhysID) loc {
+	if int(id) < nw.numTransit {
+		return loc{transit: true, local: int32(id)}
+	}
+	s := int(id) - nw.numTransit
+	per := nw.cfg.StubPerDomain
+	d := s / per
+	if d >= len(nw.domains) {
+		panic(fmt.Sprintf("netmodel: PhysID %d out of range (%d nodes)", id, nw.TotalNodes()))
+	}
+	return loc{domain: int32(d), local: int32(s % per)}
+}
+
+// transitDist returns the backbone latency between transit nodes a and b.
+func (nw *Network) transitDist(a, b int32) int {
+	return int(nw.tdist[int(a)*nw.numTransit+int(b)])
+}
+
+// stubHops returns BFS hop count between two nodes of one stub domain.
+func (d *stubDomain) stubHops(a, b int32) int {
+	return int(d.hops[int(a)*int(d.n)+int(b)])
+}
+
+// climb returns the latency from stub node l of domain d up to the domain's
+// parent transit node: intra-stub hops to the gateway plus the 5 ms uplink.
+func (nw *Network) climb(d *stubDomain, local int32) int {
+	return d.stubHops(local, d.gateway)*nw.cfg.LatIntraStub + nw.cfg.LatTransitStub
+}
+
+// Distance returns the shortest-path latency in milliseconds between two
+// physical nodes. Paths follow the transit-stub hierarchy: stub→gateway→
+// parent transit→backbone→parent transit→gateway→stub. Within one stub
+// domain the direct intra-domain path is always at least as short as a
+// detour through the parent (hop counts obey the triangle inequality and
+// the uplink alone costs more than two intra-stub hops), so it is used
+// directly.
+func (nw *Network) Distance(a, b PhysID) int {
+	if a == b {
+		return 0
+	}
+	la, lb := nw.locate(a), nw.locate(b)
+	switch {
+	case la.transit && lb.transit:
+		return nw.transitDist(la.local, lb.local)
+	case la.transit:
+		db := &nw.domains[lb.domain]
+		return nw.transitDist(la.local, db.parent) + nw.climb(db, lb.local)
+	case lb.transit:
+		da := &nw.domains[la.domain]
+		return nw.climb(da, la.local) + nw.transitDist(da.parent, lb.local)
+	case la.domain == lb.domain:
+		d := &nw.domains[la.domain]
+		return d.stubHops(la.local, lb.local) * nw.cfg.LatIntraStub
+	default:
+		da, db := &nw.domains[la.domain], &nw.domains[lb.domain]
+		return nw.climb(da, la.local) + nw.transitDist(da.parent, db.parent) + nw.climb(db, lb.local)
+	}
+}
+
+// DomainOf returns the stub-domain index of id, or -1 for transit nodes.
+// Exposed for locality-aware tests and diagnostics.
+func (nw *Network) DomainOf(id PhysID) int {
+	l := nw.locate(id)
+	if l.transit {
+		return -1
+	}
+	return int(l.domain)
+}
+
+// RandomNodes samples k distinct physical node IDs uniformly. The paper
+// randomly selects 10,000 P2P participants out of all 51,984 physical
+// nodes. It panics if k exceeds the universe size.
+func (nw *Network) RandomNodes(k int, rng *rand.Rand) []PhysID {
+	n := nw.TotalNodes()
+	if k > n {
+		panic(fmt.Sprintf("netmodel: cannot sample %d of %d nodes", k, n))
+	}
+	// Partial Fisher–Yates over the full ID space.
+	ids := make([]PhysID, n)
+	for i := range ids {
+		ids[i] = PhysID(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(n-i)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return ids[:k]
+}
+
+// MaxDistance returns an upper bound on any pairwise latency in this
+// universe, used to size histograms: two maximal climbs plus the backbone
+// diameter.
+func (nw *Network) MaxDistance() int {
+	maxT := 0
+	for _, d := range nw.tdist {
+		if int(d) > maxT {
+			maxT = int(d)
+		}
+	}
+	maxClimb := 0
+	for i := range nw.domains {
+		d := &nw.domains[i]
+		for l := int32(0); l < d.n; l++ {
+			if c := nw.climb(d, l); c > maxClimb {
+				maxClimb = c
+			}
+		}
+	}
+	return 2*maxClimb + maxT
+}

@@ -1,0 +1,30 @@
+// Package netmodel implements the GT-ITM transit-stub physical network the
+// paper's simulator runs on (§IV-A; Zegura, Calvert, Bhattacharjee [26]).
+//
+// The model is a two-level hierarchical Internet: transit domains whose
+// nodes form the backbone, and stub domains hanging off individual transit
+// nodes. The paper's configuration is
+//
+//   - 9 transit domains × 16 transit nodes = 144 transit nodes,
+//   - 9 stub domains per transit node × 40 stub nodes = 51,840 stub nodes,
+//   - 51,984 physical nodes total,
+//   - the 9 transit domains fully connected at the top level,
+//   - intra-transit-domain edges with probability 0.6,
+//   - intra-stub-domain edges with probability 0.4,
+//   - no edges between stub nodes of different stub domains,
+//
+// with link latencies 50 ms (inter-transit-domain), 20 ms (intra-transit-
+// domain), 5 ms (transit→stub uplink) and 2 ms (intra-stub-domain).
+//
+// Only some physical nodes participate in the P2P overlay, but all of them
+// contribute to network latency: Distance returns the shortest-path latency
+// between any two physical nodes. The hierarchy makes this O(1) per query
+// after an O(per-domain all-pairs) precomputation — per-stub-domain BFS hop
+// matrices (all intra-stub edges cost the same) plus an all-pairs Dijkstra
+// over the 144-node transit backbone. Stub-domain construction is
+// parallelised across CPUs.
+//
+// Random intra-domain graphs are forced connected by seeding each domain
+// with a random Hamiltonian path before sampling the probabilistic edges,
+// so every pair of physical nodes has a finite distance.
+package netmodel

@@ -1,0 +1,26 @@
+// Package overlay builds and maintains the logical P2P topologies the
+// paper evaluates on (§IV-A):
+//
+//   - random: connections created uniformly at random with an average node
+//     degree of 5;
+//   - powerlaw: same average degree, node degrees following a power-law
+//     distribution with exponent α = -0.74 (truncated so the mean comes out
+//     at the target);
+//   - crawled: the paper derives this topology from a crawled Limewire
+//     network with average degree 3.35. The crawl is not available, so the
+//     generator grows a preferential-attachment graph calibrated to the
+//     published average degree and a heavy-tailed degree distribution
+//     (DESIGN.md substitution E1).
+//
+// Every overlay node is pinned to a physical host in the netmodel universe;
+// overlay message latency between neighbours is the physical shortest-path
+// latency between their hosts.
+//
+// The graph also supports the churn the trace injects: Leave detaches a
+// node ungracefully (its cached state elsewhere simply goes stale, exactly
+// the situation ASAP's refresh ads exist for), and Join wires a reserve
+// node to randomly chosen live peers.
+//
+// Mutating calls (Join/Leave) must not race with readers; the simulator
+// serialises them between query batches.
+package overlay

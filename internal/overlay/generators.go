@@ -1,0 +1,185 @@
+package overlay
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"asap/internal/netmodel"
+)
+
+// Paper topology parameters (§IV-A).
+const (
+	// DefaultAvgDegree is the average node degree of the random and
+	// powerlaw topologies.
+	DefaultAvgDegree = 5.0
+	// PowerLawAlpha is the magnitude of the powerlaw degree exponent
+	// (the paper writes α = -0.74).
+	PowerLawAlpha = 0.74
+	// CrawledAvgDegree is the average degree of the crawled Limewire
+	// topology.
+	CrawledAvgDegree = 3.35
+)
+
+// New builds a topology of the given kind with the paper's parameters:
+// the first initial hosts are live and wired, the rest are reserves for
+// mid-run joins.
+func New(kind Kind, net *netmodel.Network, hosts []netmodel.PhysID, initial int, rng *rand.Rand) *Graph {
+	switch kind {
+	case Random:
+		return NewRandom(net, hosts, initial, DefaultAvgDegree, rng)
+	case PowerLaw:
+		return NewPowerLaw(net, hosts, initial, DefaultAvgDegree, PowerLawAlpha, rng)
+	case Crawled:
+		return NewCrawled(net, hosts, initial, CrawledAvgDegree, rng)
+	case SuperPeerKind:
+		return NewSuperPeer(net, hosts, initial, DefaultSuperFraction, DefaultSuperDegree, rng)
+	default:
+		panic(fmt.Sprintf("overlay: unknown kind %d", kind))
+	}
+}
+
+func checkInitial(hosts []netmodel.PhysID, initial int) {
+	if initial <= 1 || initial > len(hosts) {
+		panic(fmt.Sprintf("overlay: initial %d out of range (hosts %d)", initial, len(hosts)))
+	}
+}
+
+// NewRandom creates a uniform random topology: n·avgDeg/2 edges between
+// uniformly chosen distinct pairs, then connectivity repair.
+func NewRandom(net *netmodel.Network, hosts []netmodel.PhysID, initial int, avgDeg float64, rng *rand.Rand) *Graph {
+	checkInitial(hosts, initial)
+	g := newGraph(Random, net, hosts, avgDeg)
+	for v := 0; v < initial; v++ {
+		g.Activate(NodeID(v))
+	}
+	want := int(float64(initial) * avgDeg / 2)
+	for added, tries := 0, 0; added < want && tries < want*30; tries++ {
+		a := NodeID(rng.IntN(initial))
+		b := NodeID(rng.IntN(initial))
+		if g.AddEdge(a, b) {
+			added++
+		}
+	}
+	g.repairConnectivity(initial, rng)
+	return g
+}
+
+// NewPowerLaw creates a topology whose degree sequence follows the
+// rank-degree power law measured on Gnutella-class overlays: the node of
+// rank r (1 = best connected) has degree C·r^(-alpha), with C calibrated so
+// the mean degree hits avgDeg (the paper: α = -0.74, average 5). Ranks are
+// assigned to nodes at random, stubs are paired configuration-model style,
+// and the graph is simplified and repaired.
+func NewPowerLaw(net *netmodel.Network, hosts []netmodel.PhysID, initial int, avgDeg, alpha float64, rng *rand.Rand) *Graph {
+	checkInitial(hosts, initial)
+	g := newGraph(PowerLaw, net, hosts, avgDeg)
+	for v := 0; v < initial; v++ {
+		g.Activate(NodeID(v))
+	}
+
+	degrees := powerLawDegrees(alpha, avgDeg, initial)
+	perm := rng.Perm(initial) // rank → node
+
+	stubs := make([]NodeID, 0, int(float64(initial)*avgDeg)+initial)
+	for rank, d := range degrees {
+		v := NodeID(perm[rank])
+		// Cap a node's degree at initial-1 so a hub can be realised as a
+		// simple graph.
+		if d > initial-1 {
+			d = initial - 1
+		}
+		for s := 0; s < d; s++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		g.AddEdge(stubs[i], stubs[i+1]) // self/duplicate pairs silently dropped
+	}
+	g.repairConnectivity(initial, rng)
+	return g
+}
+
+// powerLawDegrees returns the rank-ordered degree targets d_r = C·r^(-alpha)
+// for r = 1..n, with C chosen so the mean is avgDeg. Degrees are at least 1.
+func powerLawDegrees(alpha, avgDeg float64, n int) []int {
+	sum := 0.0
+	for r := 1; r <= n; r++ {
+		sum += math.Pow(float64(r), -alpha)
+	}
+	c := avgDeg * float64(n) / sum
+	out := make([]int, n)
+	for r := 1; r <= n; r++ {
+		d := int(math.Round(c * math.Pow(float64(r), -alpha)))
+		if d < 1 {
+			d = 1
+		}
+		out[r-1] = d
+	}
+	return out
+}
+
+// NewCrawled creates a Limewire-like topology by preferential attachment:
+// each arriving node links to ⌈m⌉ or ⌊m⌋ existing nodes (m = avgDeg/2)
+// chosen proportionally to current degree, yielding the heavy-tailed,
+// sparse shape of real Gnutella crawls.
+func NewCrawled(net *netmodel.Network, hosts []netmodel.PhysID, initial int, avgDeg float64, rng *rand.Rand) *Graph {
+	checkInitial(hosts, initial)
+	g := newGraph(Crawled, net, hosts, avgDeg)
+	for v := 0; v < initial; v++ {
+		g.Activate(NodeID(v))
+	}
+
+	m := avgDeg / 2
+	mLo, mHi := int(math.Floor(m)), int(math.Ceil(m))
+	pHi := m - math.Floor(m)
+	if mLo < 1 {
+		mLo = 1
+	}
+
+	// Seed triangle.
+	seed := 3
+	if seed > initial {
+		seed = initial
+	}
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			g.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+
+	// targets holds one entry per edge endpoint: sampling uniformly from
+	// it is degree-proportional attachment.
+	targets := make([]NodeID, 0, int(float64(initial)*avgDeg))
+	for i := 0; i < seed; i++ {
+		for _, u := range g.Neighbors(NodeID(i)) {
+			_ = u
+			targets = append(targets, NodeID(i))
+		}
+	}
+	for v := seed; v < initial; v++ {
+		k := mLo
+		if rng.Float64() < pHi {
+			k = mHi
+		}
+		for e := 0; e < k; e++ {
+			var u NodeID
+			for tries := 0; ; tries++ {
+				u = targets[rng.IntN(len(targets))]
+				if u != NodeID(v) && !g.hasEdge(NodeID(v), u) {
+					break
+				}
+				if tries > 50 {
+					u = NodeID(rng.IntN(v))
+					break
+				}
+			}
+			if g.AddEdge(NodeID(v), u) {
+				targets = append(targets, NodeID(v), u)
+			}
+		}
+	}
+	g.repairConnectivity(initial, rng)
+	return g
+}

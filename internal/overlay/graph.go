@@ -1,0 +1,336 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"asap/internal/netmodel"
+)
+
+// NodeID identifies an overlay node: an index into the participant list,
+// 0 ≤ id < N. The trace reserves a suffix of the ID space for nodes that
+// join mid-run.
+type NodeID int32
+
+// Kind names the three topology families of §IV-A.
+type Kind uint8
+
+const (
+	Random Kind = iota
+	PowerLaw
+	Crawled
+)
+
+// Kinds lists all topology kinds in paper order.
+var Kinds = []Kind{Random, PowerLaw, Crawled}
+
+// String returns the paper's topology label.
+func (k Kind) String() string {
+	switch k {
+	case Random:
+		return "random"
+	case PowerLaw:
+		return "powerlaw"
+	case Crawled:
+		return "crawled"
+	case SuperPeerKind:
+		return "superpeer"
+	default:
+		return "invalid"
+	}
+}
+
+// Graph is a mutable overlay topology over physical hosts. Reads
+// (Neighbors, Alive, Latency) are safe concurrently; mutations (Join,
+// Leave, AddEdge) must be externally serialised against reads.
+type Graph struct {
+	kind   Kind
+	adj    [][]NodeID
+	hosts  []netmodel.PhysID
+	alive  []bool
+	live   int
+	avgDeg float64
+	net    *netmodel.Network
+	rng    *rand.Rand // structural randomness (join wiring, leaf rehoming)
+
+	// Two-tier state (SuperPeerKind only; nil on flat topologies).
+	super       []bool
+	parent      []NodeID
+	lastRehomed []NodeID
+}
+
+// newGraph allocates an overlay of n nodes over the given hosts with no
+// edges and everyone dead.
+func newGraph(kind Kind, net *netmodel.Network, hosts []netmodel.PhysID, avgDeg float64) *Graph {
+	if len(hosts) == 0 {
+		panic("overlay: no hosts")
+	}
+	return &Graph{
+		kind:   kind,
+		adj:    make([][]NodeID, len(hosts)),
+		hosts:  hosts,
+		alive:  make([]bool, len(hosts)),
+		avgDeg: avgDeg,
+		net:    net,
+		rng:    rand.New(rand.NewPCG(uint64(len(hosts)), 0x6a09e667f3bcc908)),
+	}
+}
+
+// Kind returns the topology family.
+func (g *Graph) Kind() Kind { return g.kind }
+
+// N returns the total overlay size, including not-yet-joined reserves.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Alive reports whether v currently participates.
+func (g *Graph) Alive(v NodeID) bool { return g.alive[v] }
+
+// LiveCount returns the number of participating nodes.
+func (g *Graph) LiveCount() int { return g.live }
+
+// Host returns v's physical host.
+func (g *Graph) Host(v NodeID) netmodel.PhysID { return g.hosts[v] }
+
+// Neighbors returns v's adjacency list as a shared view; it may include
+// dead nodes, which message forwarding must skip.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+
+// Degree returns the size of v's adjacency list (dead neighbours included).
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Latency returns the physical shortest-path latency in milliseconds
+// between two overlay nodes.
+func (g *Graph) Latency(a, b NodeID) int {
+	return g.net.Distance(g.hosts[a], g.hosts[b])
+}
+
+// TargetDegree returns the generator's average-degree target; Join uses it
+// to size a joining node's connection fan-out.
+func (g *Graph) TargetDegree() float64 { return g.avgDeg }
+
+// hasEdge reports whether an a–b edge exists.
+func (g *Graph) hasEdge(a, b NodeID) bool {
+	// Scan the shorter list.
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts an undirected edge; duplicate and self edges are
+// rejected with a false return.
+func (g *Graph) AddEdge(a, b NodeID) bool {
+	if a == b || g.hasEdge(a, b) {
+		return false
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return true
+}
+
+// setAlive flips liveness bookkeeping.
+func (g *Graph) setAlive(v NodeID, up bool) {
+	if g.alive[v] == up {
+		return
+	}
+	g.alive[v] = up
+	if up {
+		g.live++
+	} else {
+		g.live--
+	}
+}
+
+// Leave detaches v ungracefully: it stops participating and its edges are
+// dropped from both endpoints. State cached about v elsewhere (ads!) is
+// not touched — that staleness is the phenomenon ASAP's refresh machinery
+// addresses. On a super-peer topology, a departing super peer's orphaned
+// leaves are immediately re-homed to surviving super peers (the leaves
+// notice the broken connection and reconnect); TakeRehomed reports them.
+func (g *Graph) Leave(v NodeID) {
+	if !g.alive[v] {
+		return
+	}
+	g.setAlive(v, false)
+	var orphans []NodeID
+	for _, u := range g.adj[v] {
+		g.adj[u] = removeNode(g.adj[u], v)
+		if g.super != nil && g.super[v] && !g.super[u] && g.parent[u] == v {
+			g.parent[u] = -1
+			orphans = append(orphans, u)
+		}
+	}
+	g.adj[v] = g.adj[v][:0]
+	if g.super != nil {
+		if g.super[v] {
+			g.lastRehomed = append(g.lastRehomed, g.rehomeOrphans(orphans, g.rng)...)
+		} else {
+			g.parent[v] = -1
+		}
+	}
+}
+
+// TakeRehomed returns and clears the leaves re-homed by super-peer
+// departures since the last call; schemes use it to refresh the new
+// parents' aggregate ads.
+func (g *Graph) TakeRehomed() []NodeID {
+	out := g.lastRehomed
+	g.lastRehomed = nil
+	return out
+}
+
+// Join activates v and wires it to round(TargetDegree) randomly chosen live
+// peers (fewer if the overlay is smaller). It reports the chosen
+// neighbours.
+func (g *Graph) Join(v NodeID, rng *rand.Rand) []NodeID {
+	if g.alive[v] {
+		return nil
+	}
+	g.setAlive(v, true)
+	if g.kind == SuperPeerKind {
+		return g.joinSuperPeer(v, rng)
+	}
+	want := int(g.avgDeg + 0.5)
+	if want < 1 {
+		want = 1
+	}
+	for tries := 0; tries < want*20 && g.Degree(v) < want && g.live > 1; tries++ {
+		u := NodeID(rng.IntN(g.N()))
+		if u == v || !g.alive[u] {
+			continue
+		}
+		g.AddEdge(v, u)
+	}
+	return g.adj[v]
+}
+
+// Activate marks v live without wiring (used when installing the initial
+// participant set whose edges the generator already created).
+func (g *Graph) Activate(v NodeID) { g.setAlive(v, true) }
+
+func removeNode(xs []NodeID, v NodeID) []NodeID {
+	for i, x := range xs {
+		if x == v {
+			xs[i] = xs[len(xs)-1]
+			return xs[:len(xs)-1]
+		}
+	}
+	return xs
+}
+
+// AvgLiveDegree returns the mean adjacency size over live nodes.
+func (g *Graph) AvgLiveDegree() float64 {
+	if g.live == 0 {
+		return 0
+	}
+	total := 0
+	for v := range g.adj {
+		if g.alive[v] {
+			total += len(g.adj[v])
+		}
+	}
+	return float64(total) / float64(g.live)
+}
+
+// DegreeHistogram returns counts of live-node degrees up to maxDeg; the
+// last bucket aggregates everything ≥ maxDeg.
+func (g *Graph) DegreeHistogram(maxDeg int) []int {
+	h := make([]int, maxDeg+1)
+	for v := range g.adj {
+		if !g.alive[v] {
+			continue
+		}
+		d := len(g.adj[v])
+		if d > maxDeg {
+			d = maxDeg
+		}
+		h[d]++
+	}
+	return h
+}
+
+// LargestComponent returns the size of the largest connected component of
+// the live subgraph.
+func (g *Graph) LargestComponent() int {
+	seen := make([]bool, g.N())
+	best := 0
+	queue := make([]NodeID, 0, 64)
+	for s := 0; s < g.N(); s++ {
+		if seen[s] || !g.alive[s] {
+			continue
+		}
+		size := 0
+		seen[s] = true
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, w := range g.adj[u] {
+				if !seen[w] && g.alive[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// repairConnectivity links the live components of freshly generated
+// topologies into one, by adding one random edge per extra component. It
+// assumes all nodes in [0, n) are live.
+func (g *Graph) repairConnectivity(n int, rng *rand.Rand) {
+	if n == 0 {
+		return
+	}
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var roots []NodeID
+	queue := make([]NodeID, 0, 64)
+	next := int32(0)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		roots = append(roots, NodeID(s))
+		comp[s] = next
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.adj[u] {
+				if comp[w] == -1 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	for i := 1; i < len(roots); i++ {
+		// Bridge each extra component to a random node of component 0's
+		// growing union.
+		for {
+			u := NodeID(rng.IntN(n))
+			if comp[u] != comp[roots[i]] {
+				g.AddEdge(roots[i], u)
+				break
+			}
+		}
+	}
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("overlay{%s n=%d live=%d avgdeg=%.2f}", g.kind, g.N(), g.live, g.AvgLiveDegree())
+}

@@ -1,0 +1,190 @@
+package overlay
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"asap/internal/netmodel"
+)
+
+// SuperPeerKind is the hierarchical two-tier topology of the paper's
+// footnote 3: super peers form an unstructured overlay among themselves
+// and every leaf attaches to exactly one super peer. "ASAP can work well
+// on hierarchical systems in which only super peers are responsible for
+// ad representation, delivery, caching and processing."
+const SuperPeerKind Kind = 3
+
+// Default super-peer parameters: roughly one super peer per ten leaves
+// (the Gnutella ultrapeer regime) wired at the paper's average degree.
+const (
+	DefaultSuperFraction = 0.1
+	DefaultSuperDegree   = 5.0
+)
+
+// NewSuperPeer creates a two-tier topology: ⌈initial·superFrac⌉ randomly
+// chosen nodes become super peers connected as a random graph of average
+// degree superDeg (plus connectivity repair); every remaining node
+// attaches to one uniformly chosen super peer.
+func NewSuperPeer(net *netmodel.Network, hosts []netmodel.PhysID, initial int, superFrac, superDeg float64, rng *rand.Rand) *Graph {
+	checkInitial(hosts, initial)
+	g := newGraph(SuperPeerKind, net, hosts, superDeg)
+	g.super = make([]bool, len(hosts))
+	g.parent = make([]NodeID, len(hosts))
+	for i := range g.parent {
+		g.parent[i] = -1
+	}
+	for v := 0; v < initial; v++ {
+		g.Activate(NodeID(v))
+	}
+
+	nSuper := int(math.Ceil(float64(initial) * superFrac))
+	if nSuper < 2 {
+		nSuper = 2
+	}
+	perm := rng.Perm(initial)
+	supers := make([]NodeID, 0, nSuper)
+	for _, v := range perm[:nSuper] {
+		g.super[v] = true
+		supers = append(supers, NodeID(v))
+	}
+
+	// Random backbone among super peers.
+	want := int(float64(nSuper) * superDeg / 2)
+	for added, tries := 0, 0; added < want && tries < want*30+60; tries++ {
+		a := supers[rng.IntN(nSuper)]
+		b := supers[rng.IntN(nSuper)]
+		if g.AddEdge(a, b) {
+			added++
+		}
+	}
+	g.repairSuperBackbone(supers, rng)
+
+	// Leaves attach to one super peer each.
+	for _, v := range perm[nSuper:] {
+		sp := supers[rng.IntN(nSuper)]
+		g.AddEdge(NodeID(v), sp)
+		g.parent[v] = sp
+	}
+	return g
+}
+
+// repairSuperBackbone links the backbone's components (considering only
+// super-peer nodes) into one.
+func (g *Graph) repairSuperBackbone(supers []NodeID, rng *rand.Rand) {
+	comp := make(map[NodeID]int, len(supers))
+	next := 0
+	var stack []NodeID
+	for _, s := range supers {
+		if _, seen := comp[s]; seen {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.adj[u] {
+				if !g.super[w] {
+					continue
+				}
+				if _, seen := comp[w]; !seen {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	if next <= 1 {
+		return
+	}
+	// Bridge each extra component to component 0 via random endpoints.
+	var byComp [][]NodeID = make([][]NodeID, next)
+	for _, s := range supers {
+		byComp[comp[s]] = append(byComp[comp[s]], s)
+	}
+	for c := 1; c < next; c++ {
+		a := byComp[c][rng.IntN(len(byComp[c]))]
+		b := byComp[0][rng.IntN(len(byComp[0]))]
+		g.AddEdge(a, b)
+	}
+}
+
+// IsSuper reports whether v is a super peer. Always false on flat
+// topologies.
+func (g *Graph) IsSuper(v NodeID) bool {
+	return g.super != nil && g.super[v]
+}
+
+// SuperOf returns the node responsible for v's ads: v itself for super
+// peers (and for every node of a flat topology), v's parent super peer
+// for leaves, or -1 for a detached leaf.
+func (g *Graph) SuperOf(v NodeID) NodeID {
+	if g.super == nil || g.super[v] {
+		return v
+	}
+	p := g.parent[v]
+	if p >= 0 && g.alive[p] {
+		return p
+	}
+	return -1
+}
+
+// LeavesOf returns the live leaves attached to super peer sp; nil on flat
+// topologies.
+func (g *Graph) LeavesOf(sp NodeID) []NodeID {
+	if g.super == nil {
+		return nil
+	}
+	var out []NodeID
+	for _, nb := range g.adj[sp] {
+		if !g.super[nb] && g.alive[nb] && g.parent[nb] == sp {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// Supers returns all live super peers.
+func (g *Graph) Supers() []NodeID {
+	var out []NodeID
+	for v := range g.super {
+		if g.super[v] && g.alive[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// joinSuperPeer wires a joining node as a leaf of one random live super
+// peer.
+func (g *Graph) joinSuperPeer(v NodeID, rng *rand.Rand) []NodeID {
+	supers := g.Supers()
+	if len(supers) == 0 {
+		return nil
+	}
+	sp := supers[rng.IntN(len(supers))]
+	g.AddEdge(v, sp)
+	g.parent[v] = sp
+	return g.adj[v]
+}
+
+// rehomeOrphans re-attaches the leaves orphaned by a departing super peer
+// to random surviving super peers, returning the (leaf, newParent) pairs.
+func (g *Graph) rehomeOrphans(orphans []NodeID, rng *rand.Rand) []NodeID {
+	supers := g.Supers()
+	if len(supers) == 0 {
+		return nil
+	}
+	rehomed := make([]NodeID, 0, len(orphans))
+	for _, leaf := range orphans {
+		if !g.alive[leaf] {
+			continue
+		}
+		sp := supers[rng.IntN(len(supers))]
+		g.AddEdge(leaf, sp)
+		g.parent[leaf] = sp
+		rehomed = append(rehomed, leaf)
+	}
+	return rehomed
+}

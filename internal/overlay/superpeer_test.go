@@ -1,0 +1,153 @@
+package overlay
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func newSuperGraph(t *testing.T) *Graph {
+	t.Helper()
+	hosts := testHosts(t, 600, 21)
+	return NewSuperPeer(testNet, hosts, 500, DefaultSuperFraction, DefaultSuperDegree, rand.New(rand.NewPCG(21, 21)))
+}
+
+func TestSuperPeerShape(t *testing.T) {
+	g := newSuperGraph(t)
+	if g.Kind() != SuperPeerKind || g.Kind().String() != "superpeer" {
+		t.Errorf("Kind = %v / %q", g.Kind(), g.Kind().String())
+	}
+	supers := g.Supers()
+	if len(supers) != 50 {
+		t.Errorf("supers = %d, want 10%% of 500", len(supers))
+	}
+	// Every live leaf has exactly one super-peer parent and that edge
+	// exists.
+	leaves := 0
+	for v := 0; v < 500; v++ {
+		n := NodeID(v)
+		if g.IsSuper(n) {
+			if g.SuperOf(n) != n {
+				t.Fatalf("super %d not its own representative", v)
+			}
+			continue
+		}
+		leaves++
+		sp := g.SuperOf(n)
+		if sp < 0 || !g.IsSuper(sp) {
+			t.Fatalf("leaf %d has no super parent", v)
+		}
+		if !g.hasEdge(n, sp) {
+			t.Fatalf("leaf %d missing edge to parent %d", v, sp)
+		}
+		if g.Degree(n) != 1 {
+			t.Fatalf("leaf %d degree %d, want 1", v, g.Degree(n))
+		}
+	}
+	if leaves != 450 {
+		t.Errorf("leaves = %d, want 450", leaves)
+	}
+	if lc := g.LargestComponent(); lc != 500 {
+		t.Errorf("LargestComponent = %d, want 500 (backbone + leaves connected)", lc)
+	}
+}
+
+func TestSuperPeerLeavesOf(t *testing.T) {
+	g := newSuperGraph(t)
+	total := 0
+	for _, sp := range g.Supers() {
+		for _, leaf := range g.LeavesOf(sp) {
+			if g.SuperOf(leaf) != sp {
+				t.Fatalf("leaf %d listed under wrong super %d", leaf, sp)
+			}
+			total++
+		}
+	}
+	if total != 450 {
+		t.Errorf("leaves via LeavesOf = %d, want 450", total)
+	}
+}
+
+func TestSuperPeerJoinAttachesAsLeaf(t *testing.T) {
+	g := newSuperGraph(t)
+	rng := rand.New(rand.NewPCG(5, 5))
+	joiner := NodeID(550)
+	ns := g.Join(joiner, rng)
+	if len(ns) != 1 {
+		t.Fatalf("joiner wired to %d nodes, want exactly one super peer", len(ns))
+	}
+	if !g.IsSuper(ns[0]) {
+		t.Error("joiner attached to a non-super peer")
+	}
+	if g.SuperOf(joiner) != ns[0] {
+		t.Error("parent bookkeeping wrong after join")
+	}
+}
+
+func TestSuperPeerLeafLeave(t *testing.T) {
+	g := newSuperGraph(t)
+	var leaf NodeID = -1
+	for v := 0; v < 500; v++ {
+		if !g.IsSuper(NodeID(v)) {
+			leaf = NodeID(v)
+			break
+		}
+	}
+	sp := g.SuperOf(leaf)
+	g.Leave(leaf)
+	if g.SuperOf(leaf) != -1 {
+		t.Error("departed leaf still has a representative")
+	}
+	for _, l := range g.LeavesOf(sp) {
+		if l == leaf {
+			t.Error("departed leaf still listed under its parent")
+		}
+	}
+	if got := g.TakeRehomed(); len(got) != 0 {
+		t.Errorf("leaf departure rehomed %d nodes", len(got))
+	}
+}
+
+func TestSuperPeerDepartureRehomesLeaves(t *testing.T) {
+	g := newSuperGraph(t)
+	var victim NodeID = -1
+	for _, sp := range g.Supers() {
+		if len(g.LeavesOf(sp)) > 0 {
+			victim = sp
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no super with leaves")
+	}
+	orphanCount := len(g.LeavesOf(victim))
+	g.Leave(victim)
+
+	rehomed := g.TakeRehomed()
+	if len(rehomed) != orphanCount {
+		t.Fatalf("rehomed %d of %d orphans", len(rehomed), orphanCount)
+	}
+	for _, leaf := range rehomed {
+		sp := g.SuperOf(leaf)
+		if sp < 0 || sp == victim || !g.IsSuper(sp) || !g.Alive(sp) {
+			t.Fatalf("leaf %d badly rehomed to %d", leaf, sp)
+		}
+	}
+	// TakeRehomed drains.
+	if len(g.TakeRehomed()) != 0 {
+		t.Error("TakeRehomed did not drain")
+	}
+}
+
+func TestFlatGraphSuperAccessors(t *testing.T) {
+	hosts := testHosts(t, 100, 30)
+	g := NewRandom(testNet, hosts, 100, 5, rand.New(rand.NewPCG(30, 30)))
+	if g.IsSuper(0) {
+		t.Error("flat graph reports super peers")
+	}
+	if g.SuperOf(5) != 5 {
+		t.Error("flat SuperOf must be identity")
+	}
+	if got := g.TakeRehomed(); len(got) != 0 {
+		t.Error("flat graph rehomed nodes")
+	}
+}

@@ -1,0 +1,101 @@
+package search
+
+import (
+	"sync"
+
+	"asap/internal/metrics"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// Flooding is the TTL-bounded flood baseline: the requester sends the
+// query to all neighbours; each node forwards the first copy it receives
+// to all neighbours but the sender while TTL remains; every matching node
+// replies directly to the requester.
+type Flooding struct {
+	noopEvents
+	// TTL is the flood radius (paper: 6).
+	TTL int
+
+	sys  *sim.System
+	pool *sync.Pool
+}
+
+// NewFlooding returns a flooding scheme with the paper's TTL.
+func NewFlooding() *Flooding { return &Flooding{TTL: FloodTTL} }
+
+// Name implements sim.Scheme.
+func (f *Flooding) Name() string { return "flooding" }
+
+// Attach implements sim.Scheme.
+func (f *Flooding) Attach(sys *sim.System) {
+	f.sys = sys
+	f.pool = newScratchPool(sys.NumNodes())
+}
+
+// Search simulates one flood cascade. Every queue push is one query
+// message (duplicates included — a node that already saw the query still
+// receives the copies its neighbours send).
+func (f *Flooding) Search(ev *trace.Event) metrics.SearchResult {
+	sys := f.sys
+	sc := f.pool.Get().(*scratch)
+	defer f.pool.Put(sc)
+	sc.begin()
+
+	src := ev.Node
+	qBytes := sim.QueryBytes(len(ev.Terms))
+	t0 := ev.Time
+
+	best := noResponse
+	bestHop := int32(0)
+	msgs := 0
+	hits := 0
+
+	sc.pq.Push(sim.PQItem{T: t0, Node: src, From: src, Hop: 0})
+	for sc.pq.Len() > 0 {
+		it := sc.pq.Pop()
+		if sc.seen(it.Node) {
+			continue // duplicate copy: already counted at send time
+		}
+		sc.visit(it.Node, it.T, it.Hop)
+
+		if it.Node != src && sys.NodeMatches(it.Node, ev.Terms) {
+			hits++
+			reply := it.T + sim.Clock(sys.Latency(it.Node, src))
+			sc.acc.Add(it.T, sim.QueryHitBytes())
+			if reply < best {
+				best = reply
+				bestHop = it.Hop
+			}
+		}
+		if int(it.Hop) >= f.TTL {
+			continue
+		}
+		for _, nb := range sys.G.Neighbors(it.Node) {
+			if nb == it.From || !sys.G.Alive(nb) {
+				continue
+			}
+			msgs++
+			sc.pq.Push(sim.PQItem{
+				T:    it.T + sim.Clock(sys.Latency(it.Node, nb)),
+				Node: nb,
+				From: it.Node,
+				Hop:  it.Hop + 1,
+			})
+		}
+	}
+	sc.acc.Flush(sys, metrics.MQueryHit)
+	queryBytes := int64(msgs) * int64(qBytes)
+	// Query bytes are spread across the cascade; bucketing them all at t0
+	// is accurate to within the flood's ~1s lifetime.
+	sys.Account(t0, metrics.MQuery, int(queryBytes))
+
+	res := metrics.SearchResult{Bytes: queryBytes}
+	if best != noResponse {
+		res.Success = true
+		res.ResponseMS = best - t0
+		res.Hops = int(bestHop)
+		res.Hits = hits
+	}
+	return res
+}

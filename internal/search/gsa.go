@@ -1,0 +1,78 @@
+package search
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// GSA is the generalized search algorithm baseline (Gkantsidis et al.,
+// "Hybrid search schemes for unstructured peer-to-peer networks"): a
+// one-hop flood seeds one random walker per live neighbour, and the whole
+// query is bounded by a total message budget (paper: 8,000), divided
+// evenly among the walkers.
+type GSA struct {
+	noopEvents
+	// Budget caps the total number of messages one query may generate.
+	Budget int
+	// Seed drives per-query walk randomness.
+	Seed uint64
+
+	sys  *sim.System
+	pool *sync.Pool
+}
+
+// NewGSA returns a GSA scheme with the paper's budget.
+func NewGSA(seed uint64) *GSA { return &GSA{Budget: GSABudget, Seed: seed} }
+
+// Name implements sim.Scheme.
+func (g *GSA) Name() string { return "gsa" }
+
+// Attach implements sim.Scheme.
+func (g *GSA) Attach(sys *sim.System) {
+	g.sys = sys
+	g.pool = newScratchPool(sys.NumNodes())
+}
+
+// Search implements sim.Scheme.
+func (g *GSA) Search(ev *trace.Event) metrics.SearchResult {
+	sys := g.sys
+	sc := g.pool.Get().(*scratch)
+	defer g.pool.Put(sc)
+	sc.begin()
+
+	src := ev.Node
+	var seeds []overlay.NodeID
+	for _, nb := range sys.G.Neighbors(src) {
+		if sys.G.Alive(nb) {
+			seeds = append(seeds, nb)
+		}
+	}
+	qBytes := sim.QueryBytes(len(ev.Terms))
+	if len(seeds) == 0 {
+		return metrics.SearchResult{}
+	}
+
+	// Phase 1: the seed flood consumes one message per neighbour; the
+	// remainder of the budget is split across the walkers they become.
+	remaining := g.Budget - len(seeds)
+	perWalker := 0
+	if remaining > 0 {
+		perWalker = remaining / len(seeds)
+	}
+
+	rng := rand.New(rand.NewPCG(querySeed(g.Seed, ev.Time, ev.Node), 0x51a2b3c4))
+	recs := make([]walkRec, 0, len(seeds))
+	for _, nb := range seeds {
+		arr := ev.Time + sim.Clock(sys.Latency(src, nb))
+		recs = append(recs, runWalker(sys, sc, rng, src, nb, arr, perWalker+1, ev.Terms))
+	}
+	// The seed messages themselves are already the first step of each
+	// walker record (runWalker records the starting neighbour), so
+	// extraMsgs is zero: every message is a recorded step.
+	return settleWalk(sys, sc, recs, src, ev.Time, qBytes, 0)
+}

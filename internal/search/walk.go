@@ -1,0 +1,191 @@
+package search
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"asap/internal/content"
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// walkRec summarises one walker's traversal: its step records live in the
+// scratch's flat times/nodes arrays at [start, start+steps).
+type walkRec struct {
+	start     int
+	steps     int
+	matched   bool
+	matchTime sim.Clock
+}
+
+// runWalker walks one random walker from src for at most ttl steps,
+// stopping early at the first node matching the query. Step records are
+// appended to the scratch arrays.
+func runWalker(sys *sim.System, sc *scratch, rng *rand.Rand, src overlay.NodeID, start overlay.NodeID, t sim.Clock, ttl int, terms []content.Keyword) walkRec {
+	rec := walkRec{start: len(sc.nodes)}
+	cur, prev := start, src
+	if start != src {
+		// Seeded walkers (GSA) begin at a neighbour that was already
+		// visited by the seed flood; record and test it.
+		sc.nodes = append(sc.nodes, cur)
+		sc.times = append(sc.times, t)
+		rec.steps++
+		if sys.NodeMatches(cur, terms) {
+			rec.matched, rec.matchTime = true, t
+			return rec
+		}
+	}
+	for rec.steps < ttl {
+		next := pickNeighbor(sys, cur, prev, rng)
+		if next < 0 {
+			break // dead end
+		}
+		t += sim.Clock(sys.Latency(cur, next))
+		prev, cur = cur, next
+		sc.nodes = append(sc.nodes, cur)
+		sc.times = append(sc.times, t)
+		rec.steps++
+		if cur != src && sys.NodeMatches(cur, terms) {
+			rec.matched, rec.matchTime = true, t
+			break
+		}
+	}
+	return rec
+}
+
+// pickNeighbor returns a uniformly random live neighbour of cur, avoiding
+// an immediate return to prev when any alternative exists; -1 when cur has
+// no live neighbour.
+func pickNeighbor(sys *sim.System, cur, prev overlay.NodeID, rng *rand.Rand) overlay.NodeID {
+	nbs := sys.G.Neighbors(cur)
+	liveN, liveNotPrev := 0, 0
+	for _, nb := range nbs {
+		if !sys.G.Alive(nb) {
+			continue
+		}
+		liveN++
+		if nb != prev {
+			liveNotPrev++
+		}
+	}
+	if liveN == 0 {
+		return -1
+	}
+	if liveNotPrev == 0 {
+		return prev // backtracking is the only move
+	}
+	k := rng.IntN(liveNotPrev)
+	for _, nb := range nbs {
+		if !sys.G.Alive(nb) || nb == prev {
+			continue
+		}
+		if k == 0 {
+			return nb
+		}
+		k--
+	}
+	return -1 // unreachable
+}
+
+// settleWalk computes, for all walkers of one query, the resolution time,
+// the effective message counts under the checking termination policy, and
+// accounts the traffic. It returns the query's result.
+//
+// A walker stops at its own match, at a dead end, at TTL exhaustion, or at
+// the first check-back whose probe time is at or after the query's
+// resolution time (the probe and its reply are accounted as control
+// traffic, which baseline masks exclude).
+func settleWalk(sys *sim.System, sc *scratch, recs []walkRec, src overlay.NodeID,
+	t0 sim.Clock, qBytes int, extraMsgs int) metrics.SearchResult {
+
+	resolved := noResponse
+	bestHop := 0
+	hits := 0
+	for _, r := range recs {
+		if !r.matched {
+			continue
+		}
+		hits++
+		matchNode := sc.nodes[r.start+r.steps-1]
+		reply := r.matchTime + sim.Clock(sys.Latency(matchNode, src))
+		sc.acc.Add(r.matchTime, sim.QueryHitBytes())
+		if reply < resolved {
+			resolved = reply
+			bestHop = r.steps
+		}
+	}
+	sc.acc.Flush(sys, metrics.MQueryHit)
+
+	msgs := extraMsgs
+	for _, r := range recs {
+		stop := r.steps
+		for s := CheckEvery; s <= r.steps; s += CheckEvery {
+			probeAt := sc.times[r.start+s-1]
+			sc.accCtl.Add(probeAt, 2*sim.CheckBackBytes())
+			if resolved != noResponse && probeAt >= resolved {
+				stop = s
+				break
+			}
+		}
+		msgs += stop
+		for i := 0; i < stop; i++ {
+			sc.acc.Add(sc.times[r.start+i], qBytes)
+		}
+	}
+	sc.acc.Flush(sys, metrics.MQuery)
+	sc.accCtl.Flush(sys, metrics.MControl)
+
+	res := metrics.SearchResult{Bytes: int64(msgs) * int64(qBytes)}
+	if resolved != noResponse {
+		res.Success = true
+		res.ResponseMS = resolved - t0
+		res.Hops = bestHop
+		res.Hits = hits
+	}
+	return res
+}
+
+// RandomWalk is the 5-walker random-walk baseline with checking
+// termination.
+type RandomWalk struct {
+	noopEvents
+	// Walkers and TTL follow the paper: 5 walkers, TTL 1024.
+	Walkers int
+	TTL     int
+	// Seed drives per-query walk randomness.
+	Seed uint64
+
+	sys  *sim.System
+	pool *sync.Pool
+}
+
+// NewRandomWalk returns a random-walk scheme with the paper's parameters.
+func NewRandomWalk(seed uint64) *RandomWalk {
+	return &RandomWalk{Walkers: NumWalkers, TTL: WalkTTL, Seed: seed}
+}
+
+// Name implements sim.Scheme.
+func (w *RandomWalk) Name() string { return "random-walk" }
+
+// Attach implements sim.Scheme.
+func (w *RandomWalk) Attach(sys *sim.System) {
+	w.sys = sys
+	w.pool = newScratchPool(sys.NumNodes())
+}
+
+// Search implements sim.Scheme.
+func (w *RandomWalk) Search(ev *trace.Event) metrics.SearchResult {
+	sys := w.sys
+	sc := w.pool.Get().(*scratch)
+	defer w.pool.Put(sc)
+	sc.begin()
+
+	rng := rand.New(rand.NewPCG(querySeed(w.Seed, ev.Time, ev.Node), 0x9d8f3c21))
+	recs := make([]walkRec, 0, w.Walkers)
+	for k := 0; k < w.Walkers; k++ {
+		recs = append(recs, runWalker(sys, sc, rng, ev.Node, ev.Node, ev.Time, w.TTL, ev.Terms))
+	}
+	return settleWalk(sys, sc, recs, ev.Node, ev.Time, sim.QueryBytes(len(ev.Terms)), 0)
+}

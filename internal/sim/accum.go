@@ -1,0 +1,48 @@
+package sim
+
+import "asap/internal/metrics"
+
+// SecAccumulator batches per-message byte accounting by second, so a
+// cascade of thousands of messages costs a handful of atomic adds on the
+// shared LoadAccount instead of one per message. Warm-up bytes (negative
+// times) collapse into a single slot. The zero value is ready to use; it
+// is not safe for concurrent use (keep one per worker).
+type SecAccumulator struct {
+	secs  []int32
+	bytes []int64
+}
+
+// Reset empties the accumulator, keeping capacity.
+func (a *SecAccumulator) Reset() {
+	a.secs = a.secs[:0]
+	a.bytes = a.bytes[:0]
+}
+
+// Add books bytes at virtual time t.
+func (a *SecAccumulator) Add(t Clock, bytes int) {
+	sec := int32(t / 1000)
+	if t < 0 {
+		sec = -1
+	}
+	for i, s := range a.secs {
+		if s == sec {
+			a.bytes[i] += int64(bytes)
+			return
+		}
+	}
+	a.secs = append(a.secs, sec)
+	a.bytes = append(a.bytes, int64(bytes))
+}
+
+// Flush transfers the batched bytes to the system's load account under the
+// given message class and resets the accumulator.
+func (a *SecAccumulator) Flush(sys *System, class metrics.MsgClass) {
+	for i, s := range a.secs {
+		t := Clock(s) * 1000
+		if s < 0 {
+			t = -1
+		}
+		sys.Account(t, class, int(a.bytes[i]))
+	}
+	a.Reset()
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+)
+
+func TestSecAccumulatorBatching(t *testing.T) {
+	sys := newTestSystem(t)
+	var a SecAccumulator
+	a.Add(100, 10)
+	a.Add(900, 5)   // same second, coalesced
+	a.Add(2500, 7)  // second 2
+	a.Add(-50, 100) // warm-up slot
+	a.Flush(sys, metrics.MAdFull)
+	mask := metrics.Mask(metrics.MAdFull)
+	if got := sys.Load.BytesAt(0, mask); got != 15 {
+		t.Errorf("second 0 = %d, want 15", got)
+	}
+	if got := sys.Load.BytesAt(2, mask); got != 7 {
+		t.Errorf("second 2 = %d, want 7", got)
+	}
+	if got := sys.Load.WarmupBytes(mask); got != 100 {
+		t.Errorf("warm-up = %d, want 100", got)
+	}
+	// Flush resets: a second flush adds nothing.
+	a.Flush(sys, metrics.MAdFull)
+	if got := sys.Load.BytesAt(0, mask); got != 15 {
+		t.Errorf("double flush changed totals: %d", got)
+	}
+}
+
+func TestNewSystemWithGraphValidatesSize(t *testing.T) {
+	tr := testTrace(t)
+	hosts := testNet.RandomNodes(10, newRng())
+	g := overlay.NewRandom(testNet, hosts, 10, 3, newRng())
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched graph size did not panic")
+		}
+	}()
+	NewSystemWithGraph(testU, tr, g)
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := newTestSystem(t)
+	if sys.InitialLive() != sys.Tr.InitialLive {
+		t.Errorf("InitialLive = %d", sys.InitialLive())
+	}
+	if d := sys.Latency(0, 1); d <= 0 {
+		t.Errorf("Latency(0,1) = %d", d)
+	}
+	if d := sys.Latency(3, 3); d != 0 {
+		t.Errorf("self latency = %d", d)
+	}
+}
+
+func newRng() *rand.Rand { return rand.New(rand.NewPCG(3, 3)) }

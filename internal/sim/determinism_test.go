@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"asap/internal/content"
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/trace"
+)
+
+// echoScheme returns results derived deterministically from the query so
+// replays can be compared field by field.
+type echoScheme struct{ sys *System }
+
+func (e *echoScheme) Name() string       { return "echo" }
+func (e *echoScheme) Attach(sys *System) { e.sys = sys }
+func (e *echoScheme) Search(ev *trace.Event) metrics.SearchResult {
+	e.sys.Account(ev.Time, metrics.MQuery, 10)
+	return metrics.SearchResult{
+		Success:    true,
+		ResponseMS: int64(len(ev.Terms)) + ev.Time%7,
+		Bytes:      int64(ev.Node),
+		Hops:       1,
+	}
+}
+func (e *echoScheme) ContentChanged(Clock, overlay.NodeID, content.DocID, bool) {}
+func (e *echoScheme) NodeJoined(Clock, overlay.NodeID)                          {}
+func (e *echoScheme) NodeLeft(Clock, overlay.NodeID)                            {}
+func (e *echoScheme) Tick(Clock)                                                {}
+func (e *echoScheme) LoadMask() metrics.ClassMask                               { return metrics.AllMask }
+
+// TestReplayDeterministicSingleWorker: two single-worker replays over
+// freshly built systems with the same seed are identical in every
+// aggregate, including the load series.
+func TestReplayDeterministicSingleWorker(t *testing.T) {
+	tr := testTrace(t)
+	runOnce := func() metrics.Summary {
+		sys := NewSystem(testU, tr, overlay.Crawled, testNet, 9)
+		return Run(sys, &echoScheme{}, RunOptions{Workers: 1})
+	}
+	a, b := runOnce(), runOnce()
+	if a.Requests != b.Requests || a.SuccessRate != b.SuccessRate ||
+		a.MeanRespMS != b.MeanRespMS || a.MeanSearchBytes != b.MeanSearchBytes ||
+		a.LoadMeanKBps != b.LoadMeanKBps || a.LoadStdKBps != b.LoadStdKBps {
+		t.Fatalf("replays differ:\n%+v\n%+v", a, b)
+	}
+	if len(a.LoadSeries) != len(b.LoadSeries) {
+		t.Fatal("load series lengths differ")
+	}
+	for i := range a.LoadSeries {
+		if a.LoadSeries[i] != b.LoadSeries[i] {
+			t.Fatalf("load series diverges at second %d", i)
+		}
+	}
+}
+
+// TestParallelAggregatesMatchSerial: for a scheme whose per-query results
+// are scheduling-independent, worker count must not change any aggregate.
+func TestParallelAggregatesMatchSerial(t *testing.T) {
+	tr := testTrace(t)
+	run := func(workers int) metrics.Summary {
+		sys := NewSystem(testU, tr, overlay.Crawled, testNet, 9)
+		return Run(sys, &echoScheme{}, RunOptions{Workers: workers})
+	}
+	serial, parallel := run(1), run(8)
+	if serial.MeanRespMS != parallel.MeanRespMS || serial.MeanSearchBytes != parallel.MeanSearchBytes {
+		t.Fatalf("parallel changed aggregates: %+v vs %+v", serial, parallel)
+	}
+	if serial.LoadMeanKBps != parallel.LoadMeanKBps {
+		t.Fatalf("parallel changed load accounting: %v vs %v", serial.LoadMeanKBps, parallel.LoadMeanKBps)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "asap/internal/overlay"
+
+// PQItem is one pending message arrival in a cascade simulation.
+type PQItem struct {
+	T    Clock          // arrival time, ms
+	Node overlay.NodeID // receiving node
+	From overlay.NodeID // sending node (for reverse-path suppression)
+	Hop  int32          // hops taken so far
+}
+
+// PQ is a binary min-heap of cascade arrivals ordered by time. It is a
+// bare-metal heap (no container/heap indirection) because flood cascades
+// push millions of items per full-scale run. The zero value is ready to
+// use; Reset allows buffer reuse across queries.
+type PQ struct {
+	items []PQItem
+}
+
+// Len returns the number of pending items.
+func (q *PQ) Len() int { return len(q.items) }
+
+// Reset empties the queue, keeping its capacity.
+func (q *PQ) Reset() { q.items = q.items[:0] }
+
+// Push adds an arrival.
+func (q *PQ) Push(it PQItem) {
+	q.items = append(q.items, it)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].T <= q.items[i].T {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest arrival. It panics on an empty
+// queue; callers guard with Len.
+func (q *PQ) Pop() PQItem {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	n := len(q.items)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.items[l].T < q.items[smallest].T {
+			smallest = l
+		}
+		if r < n && q.items[r].T < q.items[smallest].T {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}

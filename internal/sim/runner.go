@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"asap/internal/content"
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/trace"
+)
+
+// Scheme is a pluggable search algorithm under test: the three baselines
+// and the three ASAP variants all implement it.
+//
+// Attach is called once before replay and may pre-distribute state (ASAP's
+// warm-up ad delivery). Search must be safe for concurrent calls — the
+// runner fans query batches across workers; all other methods are called
+// with the runner's state lock held (never concurrently).
+type Scheme interface {
+	// Name returns the scheme label used in figures (e.g. "flooding",
+	// "asap-rw").
+	Name() string
+	// Attach binds the scheme to a system and performs warm-up work.
+	Attach(sys *System)
+	// Search executes one query event and returns its outcome.
+	Search(ev *trace.Event) metrics.SearchResult
+	// ContentChanged notifies that node n added (or removed) document d at
+	// time t; the system state is already updated.
+	ContentChanged(t Clock, n overlay.NodeID, d content.DocID, added bool)
+	// NodeJoined notifies that n has joined and been wired.
+	NodeJoined(t Clock, n overlay.NodeID)
+	// NodeLeft notifies that n has left ungracefully.
+	NodeLeft(t Clock, n overlay.NodeID)
+	// Tick fires once per virtual second, for periodic work (refresh ads).
+	Tick(t Clock)
+	// LoadMask selects which message classes count toward this scheme's
+	// system load (§V-B counts query messages for baselines, everything
+	// for ASAP).
+	LoadMask() metrics.ClassMask
+}
+
+// RunOptions tunes the replay.
+type RunOptions struct {
+	// Workers is the query-batch fan-out; 0 means GOMAXPROCS. Workers=1
+	// gives a bit-for-bit deterministic replay.
+	Workers int
+	// MaxBatch caps how many consecutive queries are fanned out at once;
+	// 0 means unlimited (a batch ends at the next state event).
+	MaxBatch int
+}
+
+// Run replays the system's trace against the scheme and summarises the
+// paper's metrics for it.
+func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sch.Attach(sys)
+
+	stats := &metrics.SearchStats{}
+	var batch []*trace.Event
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		runBatch(batch, sch, stats, workers)
+		batch = batch[:0]
+	}
+
+	curSec := 0
+	sys.Load.SetLive(0, sys.G.LiveCount())
+	advance := func(t Clock) {
+		for int64(curSec+1)*1000 <= t {
+			curSec++
+			sys.Load.SetLive(curSec, sys.G.LiveCount())
+			sch.Tick(int64(curSec) * 1000)
+		}
+	}
+
+	evs := sys.Tr.Events
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Kind == trace.Query {
+			// Ticks may mutate scheme state; drain the batch before
+			// crossing a second boundary.
+			if int64(curSec+1)*1000 <= ev.Time {
+				flush()
+				advance(ev.Time)
+			}
+			batch = append(batch, ev)
+			if opts.MaxBatch > 0 && len(batch) >= opts.MaxBatch {
+				flush()
+			}
+			continue
+		}
+		flush()
+		advance(ev.Time)
+		sys.ApplyEvent(ev)
+		switch ev.Kind {
+		case trace.ContentAdd:
+			sch.ContentChanged(ev.Time, ev.Node, ev.Doc, true)
+		case trace.ContentRemove:
+			sch.ContentChanged(ev.Time, ev.Node, ev.Doc, false)
+		case trace.Join:
+			sch.NodeJoined(ev.Time, ev.Node)
+		case trace.Leave:
+			sch.NodeLeft(ev.Time, ev.Node)
+		}
+	}
+	flush()
+	// Fill the remaining seconds so the load series covers the full span.
+	advance(int64(sys.Load.Seconds()) * 1000)
+
+	return metrics.Summarize(sch.Name(), sys.G.Kind().String(), stats, sys.Load, sch.LoadMask())
+}
+
+// runBatch fans a query batch across workers.
+func runBatch(batch []*trace.Event, sch Scheme, stats *metrics.SearchStats, workers int) {
+	if workers == 1 || len(batch) == 1 {
+		for _, ev := range batch {
+			stats.Record(sch.Search(ev))
+		}
+		return
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(batch) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(batch))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(evs []*trace.Event) {
+			defer wg.Done()
+			for _, ev := range evs {
+				stats.Record(sch.Search(ev))
+			}
+		}(batch[lo:hi])
+	}
+	wg.Wait()
+}

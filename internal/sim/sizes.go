@@ -1,0 +1,59 @@
+package sim
+
+// Message size model in bytes. The absolute values matter less than the
+// ratios: a query is ~0.1 KB while a full ad carrying a Bloom filter is
+// ~1.5 KB, matching the paper's remark that "the size of a full ad is
+// larger than a query message".
+const (
+	// HeaderBytes approximates IP + transport + protocol framing of every
+	// overlay message.
+	HeaderBytes = 80
+	// AdHeaderBytes carries an ad's fixed fields: node identity I, topic
+	// set T, and the 16-bit version v.
+	AdHeaderBytes = 16
+	// TermBytes is the wire cost of one query term (an interned keyword).
+	TermBytes = 4
+	// HitBytes is the payload of a baseline query-hit reply or an ASAP
+	// confirmation reply.
+	HitBytes = 16
+	// InterestBytes is the payload of an ads request: the requester's
+	// interest bitmask.
+	InterestBytes = 2
+)
+
+// QueryBytes returns the size of a baseline query or walker message
+// carrying n search terms.
+func QueryBytes(n int) int { return HeaderBytes + TermBytes*n }
+
+// QueryHitBytes returns the size of a baseline reply to the requester.
+func QueryHitBytes() int { return HeaderBytes + HitBytes }
+
+// ConfirmBytes returns the size of an ASAP content-confirmation request
+// carrying n search terms.
+func ConfirmBytes(n int) int { return HeaderBytes + TermBytes*n }
+
+// ConfirmReplyBytes returns the size of a confirmation reply.
+func ConfirmReplyBytes() int { return HeaderBytes + HitBytes }
+
+// AdsRequestBytes returns the size of an ads request message.
+func AdsRequestBytes() int { return HeaderBytes + InterestBytes }
+
+// AdsReplyBytes returns the size of an ads reply carrying cached ads whose
+// payloads total payload bytes.
+func AdsReplyBytes(payload int) int { return HeaderBytes + payload }
+
+// FullAdBytes returns the size of a full-ad message whose content filter
+// encodes to filterWire bytes.
+func FullAdBytes(filterWire int) int { return HeaderBytes + AdHeaderBytes + filterWire }
+
+// PatchAdBytes returns the size of a patch-ad message whose changed-bit
+// list encodes to patchWire bytes.
+func PatchAdBytes(patchWire int) int { return HeaderBytes + AdHeaderBytes + patchWire }
+
+// RefreshAdBytes returns the size of a refresh ad ("empty content
+// information").
+func RefreshAdBytes() int { return HeaderBytes + AdHeaderBytes }
+
+// CheckBackBytes returns the size of a walker check-back probe (or its
+// reply).
+func CheckBackBytes() int { return HeaderBytes }

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"asap/internal/content"
+	"asap/internal/metrics"
+	"asap/internal/netmodel"
+	"asap/internal/overlay"
+	"asap/internal/trace"
+)
+
+// Clock is virtual time in milliseconds since trace start. Warm-up
+// activity happens at negative times.
+type Clock = int64
+
+// System is the dynamic state a scheme searches over: the overlay graph,
+// per-node shared contents with a keyword index, node interests, and the
+// load account. State mutations (ApplyEvent) are serialised by the runner;
+// reads and Account are safe from concurrent Search calls.
+type System struct {
+	G    *overlay.Graph
+	U    *content.Universe
+	Tr   *trace.Trace
+	Load *metrics.LoadAccount
+
+	initialLive int
+
+	interests []content.ClassSet
+	docs      [][]content.DocID
+	docPos    []map[content.DocID]int32
+	kwIndex   []map[content.Keyword][]content.DocID
+
+	rng *rand.Rand // runner-side mutations (join wiring) only
+}
+
+// NewSystem builds the replay state for one (universe, trace, topology)
+// combination: it places every trace participant on a random physical
+// host, generates the overlay with the initial participants live, and
+// loads each node's starting contents from its universe peer.
+func NewSystem(u *content.Universe, tr *trace.Trace, kind overlay.Kind, net *netmodel.Network, seed uint64) *System {
+	s := NewSystemForPeers(u, tr.Peers, tr.InitialLive, int(tr.Span()/1000)+2, kind, net, seed)
+	s.Tr = tr
+	return s
+}
+
+// NewSystemWithGraph builds replay state over a caller-constructed
+// overlay — the entry point for topologies outside the paper's three
+// (e.g. the super-peer hierarchy of footnote 3). The graph must cover one
+// node per trace peer with the initial participants already live.
+func NewSystemWithGraph(u *content.Universe, tr *trace.Trace, g *overlay.Graph) *System {
+	if g.N() != len(tr.Peers) {
+		panic(fmt.Sprintf("sim: graph has %d nodes, trace has %d peers", g.N(), len(tr.Peers)))
+	}
+	s := newSystemState(u, tr.Peers, tr.InitialLive, int(tr.Span()/1000)+2, g,
+		rand.New(rand.NewPCG(uint64(g.N()), 0xe7037ed1a0b428db)))
+	s.Tr = tr
+	return s
+}
+
+// NewSystemForPeers builds system state for an explicit node⇄peer mapping
+// without a trace — the entry point for interactively driven systems (the
+// public Cluster API). horizonSec sizes the load account.
+func NewSystemForPeers(u *content.Universe, peers []content.PeerID, initialLive, horizonSec int, kind overlay.Kind, net *netmodel.Network, seed uint64) *System {
+	n := len(peers)
+	rng := rand.New(rand.NewPCG(seed, 0xe7037ed1a0b428db))
+	hosts := net.RandomNodes(n, rng)
+	g := overlay.New(kind, net, hosts, initialLive, rng)
+	return newSystemState(u, peers, initialLive, horizonSec, g, rng)
+}
+
+// newSystemState loads per-node content state over a ready overlay.
+func newSystemState(u *content.Universe, peers []content.PeerID, initialLive, horizonSec int, g *overlay.Graph, rng *rand.Rand) *System {
+	n := len(peers)
+	s := &System{
+		G:           g,
+		U:           u,
+		Load:        metrics.NewLoadAccount(horizonSec),
+		initialLive: initialLive,
+		interests:   make([]content.ClassSet, n),
+		docs:        make([][]content.DocID, n),
+		docPos:      make([]map[content.DocID]int32, n),
+		kwIndex:     make([]map[content.Keyword][]content.DocID, n),
+		rng:         rng,
+	}
+	for i := 0; i < n; i++ {
+		peer := u.Peer(peers[i])
+		s.interests[i] = peer.Interests
+		s.docPos[i] = make(map[content.DocID]int32, len(peer.Docs))
+		s.kwIndex[i] = make(map[content.Keyword][]content.DocID)
+		for _, d := range peer.Docs {
+			s.addDoc(overlay.NodeID(i), d)
+		}
+	}
+	return s
+}
+
+// NumNodes returns the total node count (live + reserves).
+func (s *System) NumNodes() int { return s.G.N() }
+
+// InitialLive returns the number of nodes live at time zero.
+func (s *System) InitialLive() int { return s.initialLive }
+
+// Interests returns node n's interest set I(n).
+func (s *System) Interests(n overlay.NodeID) content.ClassSet { return s.interests[n] }
+
+// Docs returns node n's current shared documents as a shared view.
+func (s *System) Docs(n overlay.NodeID) []content.DocID { return s.docs[n] }
+
+// HasDoc reports whether node n currently shares document d.
+func (s *System) HasDoc(n overlay.NodeID, d content.DocID) bool {
+	_, ok := s.docPos[n][d]
+	return ok
+}
+
+// Latency returns the physical latency between two overlay nodes in ms.
+func (s *System) Latency(a, b overlay.NodeID) int { return s.G.Latency(a, b) }
+
+// Account books message bytes into the load account.
+func (s *System) Account(t Clock, c metrics.MsgClass, bytes int) { s.Load.Add(t, c, bytes) }
+
+// NodeMatches reports whether node n shares at least one document
+// containing every query term — the ground truth used by baseline replies
+// and by ASAP content confirmations. It consults the node's keyword index,
+// scanning only the postings of the rarest term.
+func (s *System) NodeMatches(n overlay.NodeID, terms []content.Keyword) bool {
+	if len(terms) == 0 {
+		return false
+	}
+	idx := s.kwIndex[n]
+	var shortest []content.DocID
+	for _, t := range terms {
+		p, ok := idx[t]
+		if !ok || len(p) == 0 {
+			return false
+		}
+		if shortest == nil || len(p) < len(shortest) {
+			shortest = p
+		}
+	}
+	if len(terms) == 1 {
+		return true
+	}
+	for _, d := range shortest {
+		if s.U.DocMatches(d, terms) {
+			return true
+		}
+	}
+	return false
+}
+
+// addDoc inserts d into node n's contents and keyword index.
+func (s *System) addDoc(n overlay.NodeID, d content.DocID) {
+	if _, dup := s.docPos[n][d]; dup {
+		return
+	}
+	s.docPos[n][d] = int32(len(s.docs[n]))
+	s.docs[n] = append(s.docs[n], d)
+	for _, kw := range s.U.Keywords(d) {
+		s.kwIndex[n][kw] = append(s.kwIndex[n][kw], d)
+	}
+}
+
+// removeDoc removes d from node n's contents and keyword index.
+func (s *System) removeDoc(n overlay.NodeID, d content.DocID) {
+	pos, ok := s.docPos[n][d]
+	if !ok {
+		return
+	}
+	docs := s.docs[n]
+	last := len(docs) - 1
+	docs[pos] = docs[last]
+	s.docPos[n][docs[pos]] = pos
+	s.docs[n] = docs[:last]
+	delete(s.docPos[n], d)
+	for _, kw := range s.U.Keywords(d) {
+		post := s.kwIndex[n][kw]
+		for i, x := range post {
+			if x == d {
+				post[i] = post[len(post)-1]
+				post = post[:len(post)-1]
+				break
+			}
+		}
+		if len(post) == 0 {
+			delete(s.kwIndex[n], kw)
+		} else {
+			s.kwIndex[n][kw] = post
+		}
+	}
+}
+
+// ApplyEvent applies a state-mutating trace event; Query events are
+// rejected (the runner dispatches them to the scheme instead).
+func (s *System) ApplyEvent(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.ContentAdd:
+		s.addDoc(ev.Node, ev.Doc)
+	case trace.ContentRemove:
+		s.removeDoc(ev.Node, ev.Doc)
+	case trace.Join:
+		s.G.Join(ev.Node, s.rng)
+	case trace.Leave:
+		s.G.Leave(ev.Node)
+	default:
+		panic(fmt.Sprintf("sim: ApplyEvent on %v event", ev.Kind))
+	}
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"asap/internal/content"
+	"asap/internal/overlay"
+)
+
+// Build generates a trace over the universe following §IV-B. The node⇄peer
+// selection, event placement and per-event choices are all driven by
+// cfg.Seed, so identical inputs produce identical traces.
+func Build(u *content.Universe, cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	needed := cfg.NumNodes + cfg.NumJoins
+	if needed > u.NumPeers() {
+		return nil, fmt.Errorf("trace: need %d peers, universe has %d", needed, u.NumPeers())
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f))
+	b := &builder{u: u, cfg: cfg, rng: rng}
+	b.selectPeers(needed)
+	b.placeSkeleton()
+	if err := b.fill(); err != nil {
+		return nil, err
+	}
+	return &Trace{Peers: b.peers, InitialLive: cfg.NumNodes, Events: b.events}, nil
+}
+
+type builder struct {
+	u   *content.Universe
+	cfg Config
+	rng *rand.Rand
+
+	peers    []content.PeerID // NodeID → PeerID
+	skeleton []Event          // times and kinds, details unfilled
+	events   []Event
+
+	docsOn      [][]content.DocID       // per node: current shared docs
+	docIdx      []map[content.DocID]int // per node: doc → position in docsOn
+	live        nodeSet                 // all live nodes
+	liveSharers nodeSet                 // live nodes with ≥1 doc
+	docsByClass [content.NumClasses][]content.DocID
+	nextJoin    overlay.NodeID
+}
+
+// selectPeers randomly selects the participant and reserve peers ("we
+// randomly select 10,000 peers out of the 37,000 nodes").
+func (b *builder) selectPeers(n int) {
+	ids := make([]content.PeerID, b.u.NumPeers())
+	for i := range ids {
+		ids[i] = content.PeerID(i)
+	}
+	for i := 0; i < n; i++ {
+		j := i + b.rng.IntN(len(ids)-i)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	b.peers = ids[:n:n]
+}
+
+// placeSkeleton lays out event kinds and timestamps: Poisson query
+// arrivals, content changes pinned right after 10% of queries, and churn
+// at uniformly random times.
+func (b *builder) placeSkeleton() {
+	cfg := b.cfg
+	b.skeleton = make([]Event, 0, cfg.NumQueries+cfg.NumJoins+cfg.NumLeaves+int(float64(cfg.NumQueries)*cfg.ContentChangeFrac)+4)
+	t := 0.0
+	for q := 0; q < cfg.NumQueries; q++ {
+		t += b.rng.ExpFloat64() / cfg.Lambda * 1000 // ms
+		b.skeleton = append(b.skeleton, Event{Time: int64(t), Kind: Query})
+		if b.rng.Float64() < cfg.ContentChangeFrac {
+			kind := ContentAdd
+			if b.rng.Float64() < 0.5 {
+				kind = ContentRemove
+			}
+			b.skeleton = append(b.skeleton, Event{Time: int64(t), Kind: kind})
+		}
+	}
+	span := int64(t) + 1
+	for i := 0; i < cfg.NumJoins; i++ {
+		b.skeleton = append(b.skeleton, Event{Time: b.rng.Int64N(span), Kind: Join})
+	}
+	for i := 0; i < cfg.NumLeaves; i++ {
+		b.skeleton = append(b.skeleton, Event{Time: b.rng.Int64N(span), Kind: Leave})
+	}
+	// Stable sort keeps each content change adjacent to (after) its query.
+	sort.SliceStable(b.skeleton, func(i, j int) bool { return b.skeleton[i].Time < b.skeleton[j].Time })
+}
+
+// fill walks the skeleton, evolving node/content state and committing
+// concrete events. Events that cannot be satisfied (e.g. a Leave when only
+// two nodes remain) are dropped rather than invented.
+func (b *builder) fill() error {
+	cfg := b.cfg
+	b.docsOn = make([][]content.DocID, len(b.peers))
+	b.docIdx = make([]map[content.DocID]int, len(b.peers))
+	b.live.init(len(b.peers))
+	b.liveSharers.init(len(b.peers))
+	b.nextJoin = overlay.NodeID(cfg.NumNodes)
+
+	for d := 0; d < b.u.NumDocs(); d++ {
+		c := b.u.ClassOf(content.DocID(d))
+		b.docsByClass[c] = append(b.docsByClass[c], content.DocID(d))
+	}
+
+	for n := 0; n < len(b.peers); n++ {
+		src := b.u.Peer(b.peers[n]).Docs
+		b.docsOn[n] = append([]content.DocID(nil), src...)
+		b.docIdx[n] = make(map[content.DocID]int, len(src))
+		for i, d := range src {
+			b.docIdx[n][d] = i
+		}
+	}
+	for n := 0; n < cfg.NumNodes; n++ {
+		b.activate(overlay.NodeID(n))
+	}
+
+	b.events = make([]Event, 0, len(b.skeleton))
+	for _, sk := range b.skeleton {
+		switch sk.Kind {
+		case Query:
+			if ev, ok := b.makeQuery(sk.Time); ok {
+				b.events = append(b.events, ev)
+			}
+		case ContentAdd:
+			if ev, ok := b.makeAdd(sk.Time); ok {
+				b.events = append(b.events, ev)
+			}
+		case ContentRemove:
+			if ev, ok := b.makeRemove(sk.Time); ok {
+				b.events = append(b.events, ev)
+			}
+		case Join:
+			if int(b.nextJoin) < len(b.peers) {
+				node := b.nextJoin
+				b.nextJoin++
+				b.activate(node)
+				b.events = append(b.events, Event{Time: sk.Time, Kind: Join, Node: node})
+			}
+		case Leave:
+			if b.live.len() <= 2 {
+				continue
+			}
+			node := b.live.random(b.rng)
+			b.deactivate(node)
+			b.events = append(b.events, Event{Time: sk.Time, Kind: Leave, Node: node})
+		}
+	}
+	if got := countKind(b.events, Query); got < cfg.NumQueries*9/10 {
+		return fmt.Errorf("trace: only %d of %d queries were satisfiable; universe too sparse", got, cfg.NumQueries)
+	}
+	return nil
+}
+
+func countKind(evs []Event, k Kind) int {
+	n := 0
+	for i := range evs {
+		if evs[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *builder) activate(n overlay.NodeID) {
+	b.live.add(n)
+	if len(b.docsOn[n]) > 0 {
+		b.liveSharers.add(n)
+	}
+}
+
+func (b *builder) deactivate(n overlay.NodeID) {
+	b.live.remove(n)
+	b.liveSharers.remove(n)
+}
+
+// makeQuery picks a requester and a target document that is (a) in the
+// requester's interest classes and (b) live-held by another node, then
+// draws the query terms from the target's keywords.
+func (b *builder) makeQuery(t int64) (Event, bool) {
+	for rTry := 0; rTry < 50; rTry++ {
+		req := b.live.random(b.rng)
+		interests := b.u.Peer(b.peers[req]).Interests
+		for dTry := 0; dTry < 200; dTry++ {
+			h := b.liveSharers.random(b.rng)
+			if h == req || h < 0 {
+				continue
+			}
+			docs := b.docsOn[h]
+			if len(docs) == 0 {
+				continue
+			}
+			d := docs[b.rng.IntN(len(docs))]
+			if !interests.Has(b.u.ClassOf(d)) {
+				continue
+			}
+			return Event{Time: t, Kind: Query, Node: req, Doc: d, Terms: b.drawTerms(d)}, true
+		}
+	}
+	return Event{}, false
+}
+
+// drawTerms samples TermsMin..TermsMax distinct keywords of doc d; d itself
+// matches all of them, so the query is satisfiable by construction.
+func (b *builder) drawTerms(d content.DocID) []content.Keyword {
+	kws := b.u.Keywords(d)
+	n := b.cfg.TermsMin
+	if b.cfg.TermsMax > b.cfg.TermsMin {
+		n += b.rng.IntN(b.cfg.TermsMax - b.cfg.TermsMin + 1)
+	}
+	if n > len(kws) {
+		n = len(kws)
+	}
+	perm := b.rng.Perm(len(kws))
+	terms := make([]content.Keyword, n)
+	for i := 0; i < n; i++ {
+		terms[i] = kws[perm[i]]
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	return terms
+}
+
+// makeAdd emulates a node starting to share one more interesting document.
+func (b *builder) makeAdd(t int64) (Event, bool) {
+	for try := 0; try < 100; try++ {
+		n := b.live.random(b.rng)
+		if n < 0 {
+			return Event{}, false
+		}
+		interests := b.u.Peer(b.peers[n]).Interests
+		cls := interests.Classes()
+		if len(cls) == 0 {
+			continue
+		}
+		pool := b.docsByClass[cls[b.rng.IntN(len(cls))]]
+		if len(pool) == 0 {
+			continue
+		}
+		d := pool[b.rng.IntN(len(pool))]
+		if _, dup := b.docIdx[n][d]; dup {
+			continue
+		}
+		b.docIdx[n][d] = len(b.docsOn[n])
+		b.docsOn[n] = append(b.docsOn[n], d)
+		if b.live.has(n) {
+			b.liveSharers.add(n)
+		}
+		return Event{Time: t, Kind: ContentAdd, Node: n, Doc: d}, true
+	}
+	return Event{}, false
+}
+
+// makeRemove drops one document from a live sharer.
+func (b *builder) makeRemove(t int64) (Event, bool) {
+	for try := 0; try < 100; try++ {
+		n := b.liveSharers.random(b.rng)
+		if n < 0 {
+			return Event{}, false
+		}
+		docs := b.docsOn[n]
+		if len(docs) == 0 {
+			b.liveSharers.remove(n)
+			continue
+		}
+		i := b.rng.IntN(len(docs))
+		d := docs[i]
+		last := len(docs) - 1
+		docs[i] = docs[last]
+		b.docIdx[n][docs[i]] = i
+		b.docsOn[n] = docs[:last]
+		delete(b.docIdx[n], d)
+		if last == 0 {
+			b.liveSharers.remove(n)
+		}
+		return Event{Time: t, Kind: ContentRemove, Node: n, Doc: d}, true
+	}
+	return Event{}, false
+}
+
+// nodeSet is an O(1) add/remove/sample set of NodeIDs.
+type nodeSet struct {
+	items []overlay.NodeID
+	pos   []int32 // node → index in items, -1 if absent
+}
+
+func (s *nodeSet) init(n int) {
+	s.items = s.items[:0]
+	s.pos = make([]int32, n)
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+}
+
+func (s *nodeSet) len() int { return len(s.items) }
+
+func (s *nodeSet) has(n overlay.NodeID) bool { return s.pos[n] >= 0 }
+
+func (s *nodeSet) add(n overlay.NodeID) {
+	if s.pos[n] >= 0 {
+		return
+	}
+	s.pos[n] = int32(len(s.items))
+	s.items = append(s.items, n)
+}
+
+func (s *nodeSet) remove(n overlay.NodeID) {
+	i := s.pos[n]
+	if i < 0 {
+		return
+	}
+	last := len(s.items) - 1
+	s.items[i] = s.items[last]
+	s.pos[s.items[i]] = i
+	s.items = s.items[:last]
+	s.pos[n] = -1
+}
+
+func (s *nodeSet) random(rng *rand.Rand) overlay.NodeID {
+	if len(s.items) == 0 {
+		return -1
+	}
+	return s.items[rng.IntN(len(s.items))]
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"asap/internal/content"
+	"asap/internal/overlay"
+)
+
+// magic identifies the binary trace format, version 1.
+var magic = [8]byte{'A', 'S', 'A', 'P', 'T', 'R', '0', '1'}
+
+// Encode writes the trace in a compact binary form: the peer mapping
+// followed by delta-timestamped varint event records.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Peers))); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(t.InitialLive)); err != nil {
+		return err
+	}
+	for _, p := range t.Peers {
+		if err := putUvarint(uint64(p)); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	prev := int64(0)
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Time < prev {
+			return fmt.Errorf("trace: events out of order at %d (%d < %d)", i, ev.Time, prev)
+		}
+		if err := putUvarint(uint64(ev.Time - prev)); err != nil {
+			return err
+		}
+		prev = ev.Time
+		if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.Node)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.Doc)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(ev.Terms))); err != nil {
+			return err
+		}
+		for _, term := range ev.Terms {
+			if err := putUvarint(uint64(term)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	readUvarint := func(what string, limit uint64) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: reading %s: %w", what, err)
+		}
+		if v > limit {
+			return 0, fmt.Errorf("trace: %s %d exceeds limit %d", what, v, limit)
+		}
+		return v, nil
+	}
+
+	nPeers, err := readUvarint("peer count", 1<<28)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := readUvarint("initial live", nPeers)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Peers: make([]content.PeerID, nPeers), InitialLive: int(initial)}
+	for i := range tr.Peers {
+		p, err := readUvarint("peer id", 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		tr.Peers[i] = content.PeerID(p)
+	}
+	nEvents, err := readUvarint("event count", 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	tr.Events = make([]Event, nEvents)
+	tm := int64(0)
+	for i := range tr.Events {
+		dt, err := readUvarint("time delta", 1<<40)
+		if err != nil {
+			return nil, err
+		}
+		tm += int64(dt)
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading kind: %w", err)
+		}
+		if Kind(kind) > Leave {
+			return nil, fmt.Errorf("trace: invalid kind %d at event %d", kind, i)
+		}
+		node, err := readUvarint("node", nPeers-1)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := readUvarint("doc", 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		nTerms, err := readUvarint("term count", 64)
+		if err != nil {
+			return nil, err
+		}
+		ev := Event{Time: tm, Kind: Kind(kind), Node: overlay.NodeID(node), Doc: content.DocID(doc)}
+		if nTerms > 0 {
+			ev.Terms = make([]content.Keyword, nTerms)
+			for j := range ev.Terms {
+				term, err := readUvarint("term", 1<<31)
+				if err != nil {
+					return nil, err
+				}
+				ev.Terms[j] = content.Keyword(term)
+			}
+		}
+		tr.Events[i] = ev
+	}
+	return tr, nil
+}

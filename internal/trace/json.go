@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"asap/internal/content"
+	"asap/internal/overlay"
+)
+
+// jsonHeader is the first line of the JSON-lines trace format.
+type jsonHeader struct {
+	Format      string           `json:"format"`
+	Peers       []content.PeerID `json:"peers"`
+	InitialLive int              `json:"initial_live"`
+	Events      int              `json:"events"`
+}
+
+// jsonEvent is one trace event as a JSON line.
+type jsonEvent struct {
+	T     int64             `json:"t"`
+	Kind  string            `json:"kind"`
+	Node  overlay.NodeID    `json:"node"`
+	Doc   content.DocID     `json:"doc,omitempty"`
+	Terms []content.Keyword `json:"terms,omitempty"`
+}
+
+const jsonFormat = "asap-trace-jsonl-1"
+
+// EncodeJSON writes the trace as JSON lines — a header object followed by
+// one event object per line. The format is for inspection and interop;
+// the binary codec is ~6× smaller and faster.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonHeader{Format: jsonFormat, Peers: t.Peers, InitialLive: t.InitialLive, Events: len(t.Events)}); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if err := enc.Encode(jsonEvent{T: ev.Time, Kind: ev.Kind.String(), Node: ev.Node, Doc: ev.Doc, Terms: ev.Terms}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSON reads a trace written by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr jsonHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading JSON header: %w", err)
+	}
+	if hdr.Format != jsonFormat {
+		return nil, fmt.Errorf("trace: unknown JSON format %q", hdr.Format)
+	}
+	if hdr.InitialLive < 0 || hdr.InitialLive > len(hdr.Peers) {
+		return nil, fmt.Errorf("trace: initial_live %d out of range", hdr.InitialLive)
+	}
+	tr := &Trace{Peers: hdr.Peers, InitialLive: hdr.InitialLive, Events: make([]Event, 0, hdr.Events)}
+	prev := int64(0)
+	for i := 0; ; i++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: reading JSON event %d: %w", i, err)
+		}
+		kind, err := kindByLabel(je.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if je.T < prev {
+			return nil, fmt.Errorf("trace: event %d out of order", i)
+		}
+		prev = je.T
+		if int(je.Node) < 0 || int(je.Node) >= len(hdr.Peers) {
+			return nil, fmt.Errorf("trace: event %d: node %d out of range", i, je.Node)
+		}
+		tr.Events = append(tr.Events, Event{Time: je.T, Kind: kind, Node: je.Node, Doc: je.Doc, Terms: je.Terms})
+	}
+	if hdr.Events != len(tr.Events) {
+		return nil, fmt.Errorf("trace: header says %d events, found %d", hdr.Events, len(tr.Events))
+	}
+	return tr, nil
+}
+
+func kindByLabel(label string) (Kind, error) {
+	for k := Query; k <= Leave; k++ {
+		if k.String() == label {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown event kind %q", label)
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := buildShared(t)
+	var buf bytes.Buffer
+	if err := tr.EncodeJSON(&buf); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if got.InitialLive != tr.InitialLive || len(got.Peers) != len(tr.Peers) || len(got.Events) != len(tr.Events) {
+		t.Fatal("header mismatch")
+	}
+	for i := range tr.Events {
+		a, b := tr.Events[i], got.Events[i]
+		if a.Time != b.Time || a.Kind != b.Kind || a.Node != b.Node || a.Doc != b.Doc || len(a.Terms) != len(b.Terms) {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestJSONBiggerThanBinary(t *testing.T) {
+	tr := buildShared(t)
+	var bin, js bytes.Buffer
+	if err := tr.Encode(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Len() <= bin.Len() {
+		t.Errorf("JSON (%d B) not larger than binary (%d B)?", js.Len(), bin.Len())
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad format":    `{"format":"nope","peers":[1],"initial_live":1,"events":0}`,
+		"bad live":      `{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":5,"events":0}`,
+		"bad kind":      `{"format":"asap-trace-jsonl-1","peers":[1,2],"initial_live":1,"events":1}` + "\n" + `{"t":1,"kind":"warp","node":0}`,
+		"bad node":      `{"format":"asap-trace-jsonl-1","peers":[1,2],"initial_live":1,"events":1}` + "\n" + `{"t":1,"kind":"query","node":9}`,
+		"out of order":  `{"format":"asap-trace-jsonl-1","peers":[1,2],"initial_live":1,"events":2}` + "\n" + `{"t":5,"kind":"query","node":0}` + "\n" + `{"t":1,"kind":"query","node":0}`,
+		"count too low": `{"format":"asap-trace-jsonl-1","peers":[1,2],"initial_live":1,"events":3}` + "\n" + `{"t":1,"kind":"query","node":0}`,
+	}
+	for name, data := range cases {
+		if _, err := DecodeJSON(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestKindByLabel(t *testing.T) {
+	for k := Query; k <= Leave; k++ {
+		got, err := kindByLabel(k.String())
+		if err != nil || got != k {
+			t.Errorf("kindByLabel(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := kindByLabel("bogus"); err == nil {
+		t.Error("bogus label accepted")
+	}
+}
