@@ -1,0 +1,37 @@
+# Developer entry points. `make check` is the pre-commit gate: static
+# checks, the race suite over the concurrent packages, and a smoke run of
+# the matrix benchmark.
+
+GO ?= go
+
+.PHONY: build test vet fmt race bench-gate bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; fail when it prints anything.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The packages that run scheme code and matrix replays concurrently.
+race:
+	$(GO) test -race ./internal/sim ./internal/experiments
+
+# One iteration of the matrix benchmark as a compile-and-run smoke test
+# (-run '^$' skips the unit tests in the root package).
+bench-gate:
+	$(GO) test -run '^$$' -bench BenchmarkRunMatrix -benchtime 1x .
+
+# Full benchmark pass, plus the machine-readable perf record.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkRunMatrix -benchmem .
+	$(GO) run ./cmd/experiments -benchjson BENCH_matrix.json
+
+check: vet fmt test race bench-gate

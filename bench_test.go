@@ -34,12 +34,51 @@ func benchMatrix(b *testing.B) (*experiments.Lab, experiments.Matrix) {
 		if benchErr != nil {
 			return
 		}
+		// RunMatrix fans the 18 runs across GOMAXPROCS workers over cloned
+		// topology prototypes, so the shared setup of `go test -bench .`
+		// costs one parallel matrix instead of a sequential replay.
 		benchMat, benchErr = benchLab.RunMatrix(nil, nil, nil)
 	})
 	if benchErr != nil {
 		b.Fatalf("bench matrix: %v", benchErr)
 	}
 	return benchLab, benchMat
+}
+
+// BenchmarkRunMatrix measures one full 6-scheme × 3-topology small-scale
+// matrix replay — the repo's headline throughput number (recorded in
+// BENCH_matrix.json via cmd/experiments -benchjson). "sequential" is the
+// pre-optimization baseline: one run at a time, overlay regenerated per
+// run. "parallel" is the production path: MatrixWorkers fan-out over
+// cloned topology prototypes. Both produce identical Matrix output.
+func BenchmarkRunMatrix(b *testing.B) {
+	lab, err := experiments.NewLab(experiments.ScaleSmall())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		opt  experiments.MatrixOptions
+	}{
+		{"sequential", experiments.MatrixOptions{Workers: 1, FreshGraphs: true}},
+		{"parallel", experiments.MatrixOptions{}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			runs := 0
+			for i := 0; i < b.N; i++ {
+				m, err := lab.RunMatrixOpt(nil, nil, nil, bc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runs = 0
+				for _, per := range m {
+					runs += len(per)
+				}
+			}
+			b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
 }
 
 // printOnce emits a figure's table a single time per bench run.

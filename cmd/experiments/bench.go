@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"asap/internal/experiments"
+)
+
+// benchSide records one timed full-matrix replay.
+type benchSide struct {
+	Workers      int     `json:"workers"`
+	FreshGraphs  bool    `json:"fresh_graphs"`
+	WallMS       float64 `json:"wall_ms"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+	AllocMB      float64 `json:"alloc_mb"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+}
+
+// benchRecord is the machine-readable perf record -benchjson emits: the
+// sequential fresh-graph baseline (the pre-optimization RunMatrix) versus
+// the parallel cloned-graph path, over the same lab.
+type benchRecord struct {
+	Scale        string    `json:"scale"`
+	Seed         uint64    `json:"seed"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	Runs         int       `json:"runs"`
+	LabBuildMS   float64   `json:"lab_build_ms"`
+	Baseline     benchSide `json:"baseline_sequential_fresh"`
+	Optimized    benchSide `json:"optimized_parallel_cloned"`
+	SpeedupX     float64   `json:"speedup_x"`
+	OutputsEqual bool      `json:"outputs_equal"`
+	When         string    `json:"when"`
+}
+
+// timedMatrix replays the full matrix under opt and measures wall time
+// and heap allocation (matrix runs only; the shared lab is prebuilt).
+func timedMatrix(lab *experiments.Lab, opt experiments.MatrixOptions) (experiments.Matrix, benchSide, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	m, err := lab.RunMatrixOpt(nil, nil, nil, opt)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, benchSide{}, err
+	}
+	runs := 0
+	for _, per := range m {
+		runs += len(per)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return m, benchSide{
+		Workers:      workers,
+		FreshGraphs:  opt.FreshGraphs,
+		WallMS:       float64(wall.Milliseconds()),
+		RunsPerSec:   float64(runs) / wall.Seconds(),
+		AllocMB:      float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(runs),
+	}, nil
+}
+
+// runBenchJSON builds the lab once, replays the matrix under the baseline
+// and optimized configurations, verifies their outputs are deep-equal,
+// and writes the perf record to path.
+func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string, quiet bool) error {
+	sc, err := experiments.ByName(scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = seed
+	sc.MatrixWorkers = matrixWorkers
+	progress := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	labStart := time.Now()
+	progress("benchjson: building %s-scale lab…", sc.Name)
+	lab, err := experiments.NewLab(sc)
+	if err != nil {
+		return err
+	}
+	labBuild := time.Since(labStart)
+
+	progress("benchjson: sequential baseline (fresh graphs, 1 worker)…")
+	baseMat, base, err := timedMatrix(lab, experiments.MatrixOptions{Workers: 1, FreshGraphs: true})
+	if err != nil {
+		return err
+	}
+	matrixWorkers = sc.MatrixWorkers
+	if matrixWorkers <= 0 {
+		matrixWorkers = runtime.GOMAXPROCS(0)
+	}
+	progress("benchjson: parallel optimized (cloned graphs, %d workers)…", matrixWorkers)
+	optMat, opt, err := timedMatrix(lab, experiments.MatrixOptions{Workers: sc.MatrixWorkers})
+	if err != nil {
+		return err
+	}
+
+	runs := 0
+	for _, per := range optMat {
+		runs += len(per)
+	}
+	rec := benchRecord{
+		Scale:        sc.Name,
+		Seed:         sc.Seed,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Runs:         runs,
+		LabBuildMS:   float64(labBuild.Milliseconds()),
+		Baseline:     base,
+		Optimized:    opt,
+		SpeedupX:     base.WallMS / opt.WallMS,
+		OutputsEqual: reflect.DeepEqual(baseMat, optMat),
+		When:         time.Now().UTC().Format(time.RFC3339),
+	}
+	if !rec.OutputsEqual {
+		return fmt.Errorf("benchjson: parallel matrix differs from sequential baseline")
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	progress("benchjson: %.0f ms → %.0f ms (%.2fx, outputs equal) → %s",
+		rec.Baseline.WallMS, rec.Optimized.WallMS, rec.SpeedupX, path)
+	return nil
+}

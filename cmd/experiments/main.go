@@ -4,13 +4,15 @@
 // Usage:
 //
 //	experiments [-scale full|small|tiny] [-figure all|2|3|...|10|claims]
-//	            [-schemes csv] [-topos csv] [-workers n] [-seed n] [-quiet]
+//	            [-schemes csv] [-topos csv] [-workers n] [-matrixworkers n]
+//	            [-seed n] [-quiet] [-benchjson path]
 //
 // Examples:
 //
 //	experiments -scale small -figure all     # every figure, 1/10 scale
 //	experiments -scale full -figure 4        # paper-scale Fig. 4 (slow)
 //	experiments -scale small -figure claims  # headline-claim checks
+//	experiments -benchjson BENCH_matrix.json # perf record: baseline vs parallel
 package main
 
 import (
@@ -30,12 +32,21 @@ func main() {
 		figure    = flag.String("figure", "all", "figure to regenerate: all, 2-10, or claims")
 		schemes   = flag.String("schemes", "", "comma-separated scheme subset (default: all six)")
 		topos     = flag.String("topos", "", "comma-separated topology subset (default: all three)")
-		workers   = flag.Int("workers", 0, "query replay workers (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "query replay workers for single-run sweeps (0 = GOMAXPROCS); matrix cells replay single-threaded")
+		matrixW   = flag.Int("matrixworkers", 0, "scheme×topology matrix workers (0 = GOMAXPROCS)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		seedCount = flag.Int("seeds", 3, "seeds for -figure seeds (robustness sweep)")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		benchJSON = flag.String("benchjson", "", "write a matrix perf record (baseline vs parallel) to this path and exit")
 	)
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := runBenchJSON(*scaleName, *seed, *matrixW, *benchJSON, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *figure == "seeds" {
 		if err := runSeeds(*scaleName, *schemes, *topos, *workers, *seedCount, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -43,18 +54,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scaleName, *figure, *schemes, *topos, *workers, *seed, *quiet); err != nil {
+	if err := run(*scaleName, *figure, *schemes, *topos, *workers, *matrixW, *seed, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, figure, schemeCSV, topoCSV string, workers int, seed uint64, quiet bool) error {
+func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, quiet bool) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
 	}
 	sc.Workers = workers
+	sc.MatrixWorkers = matrixWorkers
 	sc.Seed = seed
 
 	progress := func(format string, args ...any) {

@@ -1,0 +1,152 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// probeGeometries covers the paper geometry, the variable-length pool
+// extremes, and a deliberately tiny single-word filter (m < 64 makes the
+// pos>>6 word indexing collapse to word 0 — an easy place for an
+// off-by-one).
+func probeGeometries() []*Filter {
+	return []*Filter{
+		NewDefault(),
+		New(53, 4),
+		New(64, 1),
+		NewSized(10),
+		NewSized(5000),
+	}
+}
+
+// TestProbesAgreeWithKeys: for every geometry and random key mix, the
+// precomputed-probe predicates must agree exactly with the hashing
+// predicates — ContainsProbe ≡ ContainsKey and ContainsAllProbes ≡
+// ContainsAllKeys, on hits, misses and false positives alike.
+func TestProbesAgreeWithKeys(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 77))
+	for _, f := range probeGeometries() {
+		added := make([]uint64, 40)
+		for i := range added {
+			added[i] = rng.Uint64()
+			f.AddKey(added[i])
+		}
+		// Single-key equivalence over members and random non-members.
+		for _, k := range added {
+			if !f.ContainsProbe(ProbeKey(k)) {
+				t.Fatalf("m=%d k=%d: probe misses member %d", f.Bits(), f.Hashes(), k)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			k := rng.Uint64()
+			if f.ContainsKey(k) != f.ContainsProbe(ProbeKey(k)) {
+				t.Fatalf("m=%d k=%d: ContainsProbe disagrees with ContainsKey on %d", f.Bits(), f.Hashes(), k)
+			}
+		}
+		// Multi-key equivalence over random subsets mixing members and
+		// non-members.
+		for i := 0; i < 200; i++ {
+			keys := make([]uint64, rng.IntN(6))
+			for j := range keys {
+				if rng.IntN(2) == 0 {
+					keys[j] = added[rng.IntN(len(added))]
+				} else {
+					keys[j] = rng.Uint64()
+				}
+			}
+			want := f.ContainsAllKeys(keys)
+			if got := f.ContainsAllProbes(PrecomputeKeys(keys)); got != want {
+				t.Fatalf("m=%d k=%d: ContainsAllProbes=%v, ContainsAllKeys=%v for %v",
+					f.Bits(), f.Hashes(), got, want, keys)
+			}
+		}
+	}
+}
+
+// TestProbesEmptyKeySet: an empty key list is vacuously contained, matching
+// ContainsAllKeys — a term-less query matches every cached ad.
+func TestProbesEmptyKeySet(t *testing.T) {
+	for _, f := range probeGeometries() {
+		if !f.ContainsAllProbes(nil) || !f.ContainsAllKeys(nil) {
+			t.Fatalf("m=%d: empty key set not vacuously contained", f.Bits())
+		}
+	}
+	// Even on an empty filter.
+	if !NewDefault().ContainsAllProbes([]Probe{}) {
+		t.Fatal("empty probe slice rejected by empty filter")
+	}
+}
+
+// TestProbeGeometryIndependence: one probe works across filter lengths —
+// the property that lets a query precompute once and scan a cache holding
+// variable-length ads (§III-B's shared hash functions).
+func TestProbeGeometryIndependence(t *testing.T) {
+	key := uint64(0xdeadbeef)
+	p := ProbeKey(key)
+	for _, f := range probeGeometries() {
+		f.AddKey(key)
+		if !f.ContainsProbe(p) {
+			t.Errorf("m=%d k=%d: shared probe misses key added via AddKey", f.Bits(), f.Hashes())
+		}
+	}
+}
+
+// TestProbeStringMatchesContains: the string form agrees with Contains.
+func TestProbeStringMatchesContains(t *testing.T) {
+	f := NewDefault()
+	f.Add("guitar")
+	if !f.ContainsProbe(ProbeString("guitar")) {
+		t.Error("probe misses added string")
+	}
+	if f.Contains("violin") != f.ContainsProbe(ProbeString("violin")) {
+		t.Error("probe disagrees with Contains on absent string")
+	}
+}
+
+// TestAppendKeyProbesReuse: AppendKeyProbes grows the destination in place
+// so hot paths can reuse scratch across queries.
+func TestAppendKeyProbesReuse(t *testing.T) {
+	scratch := make([]Probe, 0, 8)
+	a := AppendKeyProbes(scratch, []uint64{1, 2, 3})
+	if len(a) != 3 {
+		t.Fatalf("len = %d, want 3", len(a))
+	}
+	b := AppendKeyProbes(a[:0], []uint64{4})
+	if len(b) != 1 || &a[0] != &b[0] {
+		t.Error("scratch not reused across AppendKeyProbes calls")
+	}
+	if got := AppendKeyProbes(nil, nil); got != nil {
+		t.Error("append of no keys to nil allocated")
+	}
+}
+
+func BenchmarkContainsAllKeys(b *testing.B) {
+	f, keys := benchFilterAndKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.ContainsAllKeys(keys)
+	}
+}
+
+func BenchmarkContainsAllProbes(b *testing.B) {
+	f, keys := benchFilterAndKeys()
+	ps := PrecomputeKeys(keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.ContainsAllProbes(ps)
+	}
+}
+
+func benchFilterAndKeys() (*Filter, []uint64) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	f := NewDefault()
+	keys := make([]uint64, 3)
+	for i := 0; i < 800; i++ {
+		f.AddKey(rng.Uint64())
+	}
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.AddKey(keys[i])
+	}
+	return f, keys
+}

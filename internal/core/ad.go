@@ -138,6 +138,24 @@ func (ns *nodeState) evictOver(capacity int) {
 	}
 }
 
+// drop removes src from the cache and its insertion-order list, keeping
+// fifo an exact mirror of the cache keys (ads replies serve entries in
+// fifo order, so a stale fifo entry would change reply contents). Called
+// under mu; dead-source eviction is rare enough that the linear scan does
+// not matter.
+func (ns *nodeState) drop(src overlay.NodeID) {
+	if _, ok := ns.cache[src]; !ok {
+		return
+	}
+	delete(ns.cache, src)
+	for i, x := range ns.fifo {
+		if x == src {
+			ns.fifo = append(ns.fifo[:i], ns.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
 // dropStale removes entries last seen before deadline. Called under mu.
 func (ns *nodeState) dropStale(deadline sim.Clock) {
 	if len(ns.cache) == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"asap/internal/bloom"
 	"asap/internal/content"
@@ -27,6 +28,9 @@ type Scheme struct {
 	acc   sim.SecAccumulator
 	stamp []uint32
 	epoch uint32
+
+	// scratch pools per-query working sets; see searchScratch.
+	scratch sync.Pool
 }
 
 // New returns an ASAP scheme with the given configuration. It panics on an
@@ -35,7 +39,18 @@ func New(cfg Config) *Scheme {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Scheme{cfg: cfg}
+	s := &Scheme{cfg: cfg}
+	s.scratch.New = func() any {
+		return &searchScratch{
+			// Non-nil empty probes keep the search/join pull distinction
+			// (probes == nil means a join-time interest pull) even for
+			// term-less queries.
+			probes:    make([]bloom.Probe, 0, 8),
+			confirmed: make(map[overlay.NodeID]bool, 8),
+			seen:      make(map[overlay.NodeID]int, 8),
+		}
+	}
+	return s
 }
 
 // Name implements sim.Scheme: "asap-fld", "asap-rw" or "asap-gsa".
@@ -206,7 +221,9 @@ func (s *Scheme) NodeJoined(t sim.Clock, n overlay.NodeID) {
 	if snap := s.publish(n); snap != nil {
 		s.deliver(t, snap, adFull, snap.topics)
 	}
-	s.adsRequest(t, n, nil)
+	sc := s.getScratch()
+	s.adsRequest(t, n, sc, nil)
+	s.putScratch(sc)
 }
 
 // NodeLeft implements sim.Scheme: departures are ungraceful; the node's

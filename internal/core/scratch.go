@@ -1,0 +1,70 @@
+package core
+
+import (
+	"asap/internal/bloom"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// adOffer is one ad offered in an ads-request reply: the snapshot plus
+// the moment it reaches the requester.
+type adOffer struct {
+	snap  *adSnapshot
+	avail sim.Clock
+}
+
+// searchScratch is the per-query working set of Search, adsRequest and
+// hopNeighborhood. Scratch objects live in the Scheme's pool: each query
+// borrows one for its whole lifetime, so concurrent Search calls never
+// share a scratch and the steady state allocates nothing per query.
+type searchScratch struct {
+	keys      []uint64
+	probes    []bloom.Probe
+	cands     []candidate
+	confirmed map[overlay.NodeID]bool
+	offers    []adOffer
+	seen      map[overlay.NodeID]int
+	targets   []hopTarget
+
+	// Epoch-stamped BFS state for hopNeighborhood: visited[v] holds the
+	// epoch of the last traversal that reached v, so the visited set
+	// resets in O(1) per query instead of reallocating a map.
+	visited  []uint32
+	pathLat  []sim.Clock
+	epoch    uint32
+	frontier []overlay.NodeID
+	next     []overlay.NodeID
+}
+
+// getScratch borrows a reset scratch from the pool.
+func (s *Scheme) getScratch() *searchScratch {
+	sc := s.scratch.Get().(*searchScratch)
+	sc.keys = sc.keys[:0]
+	sc.probes = sc.probes[:0]
+	sc.cands = sc.cands[:0]
+	sc.offers = sc.offers[:0]
+	sc.targets = sc.targets[:0]
+	clear(sc.confirmed)
+	clear(sc.seen)
+	return sc
+}
+
+// putScratch returns a scratch to the pool. Slices handed out of the
+// scratch must not be retained past this call.
+func (s *Scheme) putScratch(sc *searchScratch) { s.scratch.Put(sc) }
+
+// bfsState returns the epoch-stamped visited/latency slices sized for n
+// nodes, advancing the epoch (with wrap-around reset).
+func (sc *searchScratch) bfsState(n int) ([]uint32, []sim.Clock) {
+	if len(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.pathLat = make([]sim.Clock, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	return sc.visited, sc.pathLat
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
+	"asap/internal/bloom"
 	"asap/internal/content"
 	"asap/internal/metrics"
 	"asap/internal/overlay"
@@ -24,10 +26,18 @@ type candidate struct {
 // ad sources (one-hop search). If that yields nothing, phase 2 requests
 // interest-matching ads from all peers within AdsRequestHops, merges the
 // replies into the cache, and confirms again.
+//
+// The query's Bloom probes are precomputed once; the cache scan then tests
+// filter words directly instead of re-hashing every term per cached ad.
 func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	p := ev.Node
 	t0 := ev.Time
-	keys := termKeys(ev.Terms)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	for _, term := range ev.Terms {
+		sc.keys = append(sc.keys, uint64(term))
+	}
+	sc.probes = bloom.AppendKeyProbes(sc.probes, sc.keys)
 
 	// Hierarchical mode: a leaf routes its request through its super peer
 	// (one extra round trip and two extra messages); the search proper
@@ -55,16 +65,17 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 		window := sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec) * 1000
 		ns.dropStale(t0 - window)
 	}
-	var cands []candidate
+	cands := sc.cands[:0]
 	for src, e := range ns.cache {
-		if e.snap.filter.ContainsAllKeys(keys) {
+		if e.snap.filter.ContainsAllProbes(sc.probes) {
 			cands = append(cands, candidate{src: src, avail: t0, rtt: 2 * sim.Clock(s.sys.Latency(p, src))})
 		}
 	}
 	ns.mu.Unlock()
+	sc.cands = cands
 
 	var bytes int64
-	confirmed := make(map[overlay.NodeID]bool)
+	confirmed := sc.confirmed
 	hits, resp, b := s.confirmRound(p, ev.Terms, cands, confirmed)
 	bytes += b + uplinkBytes
 	// Table I: phase 2 runs when the cache yielded nothing, or when "more
@@ -77,7 +88,7 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	}
 
 	// Phase 2: pull ads from the h-hop neighbourhood and retry.
-	more, b2 := s.adsRequest(t0, p, keys)
+	more, b2 := s.adsRequest(t0, p, sc, sc.probes)
 	bytes += b2
 	fresh := more[:0]
 	for _, c := range more {
@@ -112,12 +123,13 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 	if len(cands) == 0 {
 		return 0, 0, 0
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.avail+a.rtt != b.avail+b.rtt {
-			return a.avail+a.rtt < b.avail+b.rtt
+	// The comparator totally orders candidates (src is unique within a
+	// round), so the result is deterministic whatever the sort algorithm.
+	slices.SortFunc(cands, func(a, b candidate) int {
+		if c := cmp.Compare(a.avail+a.rtt, b.avail+b.rtt); c != 0 {
+			return c
 		}
-		return a.src < b.src
+		return cmp.Compare(a.src, b.src)
 	})
 	if len(cands) > s.cfg.MaxConfirms {
 		cands = cands[:s.cfg.MaxConfirms]
@@ -137,7 +149,7 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 			// detection complementing refresh-based expiry.
 			ns := &s.nodes[p]
 			ns.mu.Lock()
-			delete(ns.cache, c.src)
+			ns.drop(c.src)
 			ns.mu.Unlock()
 			continue
 		}
@@ -157,10 +169,11 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 
 // adsRequest floods an ads request over the h-hop neighbourhood of p,
 // merges the replied ads into p's cache, and returns the candidates among
-// them that match keys. The second result is the traffic this cost.
+// them whose filters pass every query probe. The second result is the
+// traffic this cost. Returned slices are backed by sc.
 //
 // Reply contents depend on the request flavour. A join-time pull
-// (keys == nil) returns every cached ad whose topics intersect the
+// (probes == nil) returns every cached ad whose topics intersect the
 // requester's interests, exactly Table I's requestAdFromNeighbors(i, h,
 // I(p)). A search-time pull additionally has the neighbour filter its
 // cache against the query terms — the neighbour runs the same Bloom match
@@ -169,8 +182,8 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 // interest-overlapping cache; the requester's subsequent lookup over the
 // replied ads is unchanged. Neighbours never serve entries their own
 // staleness window has expired.
-func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, keys []uint64) ([]candidate, int64) {
-	targets, reqMsgs := s.hopNeighborhood(p, s.cfg.AdsRequestHops)
+func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, probes []bloom.Probe) ([]candidate, int64) {
+	targets, reqMsgs := s.hopNeighborhood(p, s.cfg.AdsRequestHops, sc)
 	if len(targets) == 0 {
 		return nil, 0
 	}
@@ -182,11 +195,7 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, keys []uint64) ([]can
 		staleBefore = t - sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec)*1000
 	}
 	interests := s.groupInterests(p)
-	type offer struct {
-		snap  *adSnapshot
-		avail sim.Clock
-	}
-	var offers []offer
+	offers := sc.offers[:0]
 	for _, tg := range targets {
 		q := &s.nodes[tg.node]
 		q.mu.Lock()
@@ -199,19 +208,23 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, keys []uint64) ([]can
 			if snap.src == p || !snap.topics.Intersects(interests) {
 				return true
 			}
-			if keys != nil && !snap.filter.ContainsAllKeys(keys) {
+			if probes != nil && !snap.filter.ContainsAllProbes(probes) {
 				return true
 			}
 			payload += sim.AdHeaderBytes + snap.fullWire
 			count++
-			offers = append(offers, offer{snap: snap, avail: t + tg.pathLat + sim.Clock(s.sys.Latency(tg.node, p))})
+			offers = append(offers, adOffer{snap: snap, avail: t + tg.pathLat + sim.Clock(s.sys.Latency(tg.node, p))})
 			return true
 		}
 		if q.published != nil {
 			appendOffer(q.published)
 		}
-		for _, e := range q.cache {
-			if e.lastSeen < staleBefore {
+		// Serve cache entries in insertion order: under MaxAdsPerReply the
+		// subset offered must not depend on map iteration order, or two
+		// replays of one run diverge.
+		for _, src := range q.fifo {
+			e, ok := q.cache[src]
+			if !ok || e.lastSeen < staleBefore {
 				continue
 			}
 			if !appendOffer(e.snap) {
@@ -223,15 +236,17 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, keys []uint64) ([]can
 		s.sys.Account(t, metrics.MAdsRequest, reply)
 		bytes += int64(reply)
 	}
+	sc.offers = offers
 
-	// Merge all offered ads into p's cache, collecting term matches.
+	// Merge all offered ads into p's cache, collecting term matches. The
+	// phase-1 candidates are dead by now, so their scratch space is reused.
 	ns := &s.nodes[p]
-	var cands []candidate
-	seen := make(map[overlay.NodeID]int)
+	cands := sc.cands[:0]
+	seen := sc.seen
 	ns.mu.Lock()
 	for _, of := range offers {
 		ns.store(of.snap, adFull, of.avail, s.cfg.CacheCapacity)
-		if keys != nil && of.snap.filter.ContainsAllKeys(keys) {
+		if probes != nil && of.snap.filter.ContainsAllProbes(probes) {
 			if i, dup := seen[of.snap.src]; dup {
 				if of.avail < cands[i].avail {
 					cands[i].avail = of.avail
@@ -247,6 +262,7 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, keys []uint64) ([]can
 		}
 	}
 	ns.mu.Unlock()
+	sc.cands = cands
 	return cands, bytes
 }
 
@@ -259,48 +275,52 @@ type hopTarget struct {
 
 // hopNeighborhood returns the live peers within h hops of p (excluding p)
 // and the number of request messages a duplicate-suppressed flood to that
-// radius sends.
-func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int) ([]hopTarget, int) {
+// radius sends. The returned slice is backed by sc; the BFS tracks
+// visited nodes in sc's epoch-stamped slices, so the multi-hop case does
+// no per-query map work.
+func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]hopTarget, int) {
 	if h <= 0 {
 		return nil, 0
 	}
+	out := sc.targets[:0]
 	if h == 1 {
 		// The common case: direct neighbours, one request each.
-		var out []hopTarget
 		for _, nb := range s.sys.G.Neighbors(p) {
 			if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
 				out = append(out, hopTarget{node: nb, pathLat: sim.Clock(s.sys.Latency(p, nb))})
 			}
 		}
+		sc.targets = out
 		return out, len(out)
 	}
-	type bfsEntry struct {
-		lat sim.Clock
-		hop int
-	}
-	seen := map[overlay.NodeID]bfsEntry{p: {}}
-	frontier := []overlay.NodeID{p}
+	visited, pathLat := sc.bfsState(s.sys.NumNodes())
+	epoch := sc.epoch
+	visited[p] = epoch
+	pathLat[p] = 0
+	frontier := append(sc.frontier[:0], p)
+	next := sc.next[:0]
 	msgs := 0
-	var out []hopTarget
 	for hop := 1; hop <= h && len(frontier) > 0; hop++ {
-		var next []overlay.NodeID
+		next = next[:0]
 		for _, u := range frontier {
 			for _, nb := range s.sys.G.Neighbors(u) {
 				if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
 					continue
 				}
 				msgs++
-				if _, dup := seen[nb]; dup {
+				if visited[nb] == epoch {
 					continue
 				}
-				e := bfsEntry{lat: seen[u].lat + sim.Clock(s.sys.Latency(u, nb)), hop: hop}
-				seen[nb] = e
-				out = append(out, hopTarget{node: nb, pathLat: e.lat})
+				visited[nb] = epoch
+				pathLat[nb] = pathLat[u] + sim.Clock(s.sys.Latency(u, nb))
+				out = append(out, hopTarget{node: nb, pathLat: pathLat[nb]})
 				next = append(next, nb)
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	sc.frontier, sc.next = frontier, next
+	sc.targets = out
 	return out, msgs
 }
 

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"asap/internal/content"
 	"asap/internal/core"
@@ -21,12 +24,20 @@ var SchemeNames = []string{"flooding", "random-walk", "gsa", "asap-fld", "asap-r
 // Lab owns the shared inputs of one scale preset: generating the physical
 // network, the content universe and the trace is expensive, so one Lab is
 // reused across all scheme × topology runs. Runs themselves are
-// independent (each builds a fresh overlay and system).
+// independent — each operates on its own system over a private clone of
+// the lab's per-topology overlay prototype — which is what lets RunMatrix
+// fan them across a worker pool.
 type Lab struct {
 	Scale Scale
 	Net   *netmodel.Network
 	U     *content.Universe
 	Tr    *trace.Trace
+
+	// Per-kind topology prototypes: each topology is generated once per
+	// Lab and cheaply cloned per run (generation dominates per-run setup
+	// cost). Guarded so concurrent RunMatrix workers can share the cache.
+	topoMu sync.Mutex
+	topos  map[overlay.Kind]*sim.TopoProto
 }
 
 // NewLab builds the shared inputs for a scale preset.
@@ -63,42 +74,159 @@ func (l *Lab) NewScheme(name string) (sim.Scheme, error) {
 	}
 }
 
-// Run replays the lab's trace under one scheme on one topology.
+// topoProto returns the lab's shared prototype for kind, generating it on
+// first use. Safe for concurrent callers.
+func (l *Lab) topoProto(kind overlay.Kind) *sim.TopoProto {
+	l.topoMu.Lock()
+	defer l.topoMu.Unlock()
+	if l.topos == nil {
+		l.topos = make(map[overlay.Kind]*sim.TopoProto, len(overlay.Kinds))
+	}
+	p, ok := l.topos[kind]
+	if !ok {
+		p = sim.NewTopoProto(kind, l.Net, len(l.Tr.Peers), l.Tr.InitialLive, l.Scale.Seed)
+		l.topos[kind] = p
+	}
+	return p
+}
+
+// Run replays the lab's trace under one scheme on one topology with
+// Scale.Workers query-replay workers (the interactive single-run entry
+// point; multi-worker replay trades bit-for-bit reproducibility for
+// speed, see sim.RunOptions).
 func (l *Lab) Run(schemeName string, topo overlay.Kind) (metrics.Summary, error) {
+	return l.run(schemeName, topo, false, l.Scale.Workers)
+}
+
+// run builds the system — from the cached prototype, or from scratch when
+// fresh is set — and replays the trace under the scheme. The two system
+// paths are bit-for-bit equivalent (see TestMatrixClonedMatchesFresh);
+// fresh exists as the pre-clone baseline for benchmarking.
+func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers int) (metrics.Summary, error) {
 	sch, err := l.NewScheme(schemeName)
 	if err != nil {
 		return metrics.Summary{}, err
 	}
-	sys := sim.NewSystem(l.U, l.Tr, topo, l.Net, l.Scale.Seed)
-	return sim.Run(sys, sch, sim.RunOptions{Workers: l.Scale.Workers}), nil
+	var sys *sim.System
+	if fresh {
+		sys = sim.NewSystem(l.U, l.Tr, topo, l.Net, l.Scale.Seed)
+	} else {
+		sys = l.topoProto(topo).NewSystem(l.U, l.Tr)
+	}
+	return sim.Run(sys, sch, sim.RunOptions{Workers: queryWorkers}), nil
 }
 
 // Matrix holds one Summary per scheme × topology.
 type Matrix map[string]map[overlay.Kind]metrics.Summary
 
-// RunMatrix runs every given scheme on every given topology. Nil slices
-// select the full paper matrix. Progress, if non-nil, is invoked before
-// each run.
+// MatrixOptions tunes RunMatrixOpt.
+type MatrixOptions struct {
+	// Workers bounds the scheme×topology fan-out; 0 means GOMAXPROCS.
+	Workers int
+	// FreshGraphs regenerates the overlay for every run instead of
+	// cloning the lab's per-kind prototype — the pre-optimization
+	// baseline, kept for benchmarking (cmd/experiments -benchjson).
+	FreshGraphs bool
+}
+
+// RunMatrix runs every given scheme on every given topology across a
+// worker pool of Scale.MatrixWorkers (0 = GOMAXPROCS). Nil slices select
+// the full paper matrix. Progress, if non-nil, is invoked before each run
+// and is never called concurrently.
+//
+// Parallelism lives at the cell level only: each cell replays its queries
+// single-threaded, which keeps every run deterministic in the lab seed
+// alone (multi-worker query replay is scheduling-sensitive for schemes
+// with shared caches — see sim.RunOptions). The returned Matrix is
+// therefore identical for every worker count
+// (TestRunMatrixParallelDeterminism).
 func (l *Lab) RunMatrix(schemes []string, topos []overlay.Kind, progress func(scheme string, topo overlay.Kind)) (Matrix, error) {
+	return l.RunMatrixOpt(schemes, topos, progress, MatrixOptions{Workers: l.Scale.MatrixWorkers})
+}
+
+// RunMatrixOpt is RunMatrix with explicit execution options.
+func (l *Lab) RunMatrixOpt(schemes []string, topos []overlay.Kind, progress func(scheme string, topo overlay.Kind), opt MatrixOptions) (Matrix, error) {
 	if schemes == nil {
 		schemes = SchemeNames
 	}
 	if topos == nil {
 		topos = overlay.Kinds
 	}
-	m := make(Matrix, len(schemes))
+	type cell struct {
+		scheme string
+		topo   overlay.Kind
+	}
+	jobs := make([]cell, 0, len(schemes)*len(topos))
 	for _, s := range schemes {
-		m[s] = make(map[overlay.Kind]metrics.Summary, len(topos))
 		for _, k := range topos {
-			if progress != nil {
-				progress(s, k)
-			}
-			sum, err := l.Run(s, k)
-			if err != nil {
-				return nil, err
-			}
-			m[s][k] = sum
+			jobs = append(jobs, cell{scheme: s, topo: k})
 		}
+	}
+	if !opt.FreshGraphs {
+		// Generate each topology once, up front, so workers only clone.
+		for _, k := range topos {
+			l.topoProto(k)
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	sums := make([]metrics.Summary, len(jobs))
+	errs := make([]error, len(jobs))
+	runJob := func(i int) {
+		sums[i], errs[i] = l.run(jobs[i].scheme, jobs[i].topo, opt.FreshGraphs, 1)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			if progress != nil {
+				progress(jobs[i].scheme, jobs[i].topo)
+			}
+			runJob(i)
+		}
+	} else {
+		var (
+			progressMu sync.Mutex
+			next       atomic.Int64
+			wg         sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					if progress != nil {
+						progressMu.Lock()
+						progress(jobs[i].scheme, jobs[i].topo)
+						progressMu.Unlock()
+					}
+					runJob(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := make(Matrix, len(schemes))
+	for i, j := range jobs {
+		per := m[j.scheme]
+		if per == nil {
+			per = make(map[overlay.Kind]metrics.Summary, len(topos))
+			m[j.scheme] = per
+		}
+		per[j.topo] = sums[i]
 	}
 	return m, nil
 }

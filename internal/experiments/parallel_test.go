@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"asap/internal/overlay"
+)
+
+// TestRunMatrixParallelDeterminism: the matrix worker count must not change
+// a single field of any summary — the contract that lets RunMatrix default
+// to GOMAXPROCS workers without perturbing figure output. The progress
+// callback deliberately mutates unsynchronised state: RunMatrixOpt promises
+// to serialise progress calls, and `go test -race` holds it to that.
+func TestRunMatrixParallelDeterminism(t *testing.T) {
+	lab, _ := sharedTiny(t)
+	seq, err := lab.RunMatrixOpt(nil, nil, nil, MatrixOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	calls := 0
+	par, err := lab.RunMatrixOpt(nil, nil, func(string, overlay.Kind) { calls++ }, MatrixOptions{Workers: 8})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if want := len(SchemeNames) * len(overlay.Kinds); calls != want {
+		t.Errorf("progress called %d times, want %d", calls, want)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		for s, per := range seq {
+			for k := range per {
+				if !reflect.DeepEqual(seq[s][k], par[s][k]) {
+					t.Errorf("%s/%s differs:\nseq: %+v\npar: %+v", s, k, seq[s][k], par[s][k])
+				}
+			}
+		}
+		t.Fatal("parallel matrix differs from sequential")
+	}
+}
+
+// TestMatrixClonedMatchesFresh: runs over cloned topology prototypes (the
+// default) must equal runs that regenerate the overlay from scratch — the
+// pre-optimization behaviour.
+func TestMatrixClonedMatchesFresh(t *testing.T) {
+	lab, _ := sharedTiny(t)
+	schemes := []string{"flooding", "asap-rw"}
+	topos := []overlay.Kind{overlay.Crawled}
+	fresh, err := lab.RunMatrixOpt(schemes, topos, nil, MatrixOptions{Workers: 1, FreshGraphs: true})
+	if err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+	cloned, err := lab.RunMatrixOpt(schemes, topos, nil, MatrixOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("cloned: %v", err)
+	}
+	if !reflect.DeepEqual(fresh, cloned) {
+		t.Fatal("cloned-prototype matrix differs from fresh-graph matrix")
+	}
+}
+
+// TestRunMatrixParallelPropagatesErrors: a bad scheme name must surface as
+// an error from the parallel path, not a hang or partial matrix.
+func TestRunMatrixParallelPropagatesErrors(t *testing.T) {
+	lab, _ := sharedTiny(t)
+	if _, err := lab.RunMatrixOpt([]string{"bogus"}, nil, nil, MatrixOptions{Workers: 4}); err == nil {
+		t.Error("parallel RunMatrixOpt accepted bogus scheme")
+	}
+}
+
+// TestScaleMatrixWorkersFlows: Scale.MatrixWorkers reaches the plain
+// RunMatrix entry point (output equality with the explicit-worker path).
+func TestScaleMatrixWorkersFlows(t *testing.T) {
+	lab, mat := sharedTiny(t)
+	prev := lab.Scale.MatrixWorkers
+	lab.Scale.MatrixWorkers = 3
+	defer func() { lab.Scale.MatrixWorkers = prev }()
+	m, err := lab.RunMatrix(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, mat) {
+		t.Fatal("MatrixWorkers=3 run differs from the shared matrix")
+	}
+}

@@ -21,9 +21,16 @@ type Scale struct {
 	// RefreshPeriodSec overrides the ASAP refresh period (0 keeps the
 	// core default scaled by Factor).
 	RefreshPeriodSec int
-	// Workers is the replay fan-out (0 = GOMAXPROCS).
+	// Workers is the per-run query replay fan-out (0 = GOMAXPROCS). It
+	// applies to single-run entry points (Lab.Run, seed sweeps);
+	// RunMatrix cells always replay single-threaded so the matrix stays
+	// deterministic.
 	Workers int
-	Seed    uint64
+	// MatrixWorkers bounds RunMatrix's scheme×topology fan-out (0 =
+	// GOMAXPROCS). Runs are independent, so the worker count never
+	// changes the Matrix (see TestRunMatrixParallelDeterminism).
+	MatrixWorkers int
+	Seed          uint64
 }
 
 // ScaleFull is the paper's configuration.

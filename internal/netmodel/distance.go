@@ -103,8 +103,14 @@ func (nw *Network) RandomNodes(k int, rng *rand.Rand) []PhysID {
 
 // MaxDistance returns an upper bound on any pairwise latency in this
 // universe, used to size histograms: two maximal climbs plus the backbone
-// diameter.
+// diameter. The network is immutable after Generate, so the scan over
+// every stub domain runs once and the result is memoized.
 func (nw *Network) MaxDistance() int {
+	nw.maxDistOnce.Do(func() { nw.maxDist = nw.computeMaxDistance() })
+	return nw.maxDist
+}
+
+func (nw *Network) computeMaxDistance() int {
 	maxT := 0
 	for _, d := range nw.tdist {
 		if int(d) > maxT {

@@ -24,6 +24,12 @@ type Network struct {
 
 	// One entry per stub domain, in PhysID order.
 	domains []stubDomain
+
+	// maxDist memoizes MaxDistance: the network is immutable after
+	// Generate, so the bound is computed once (thread-safely — concurrent
+	// experiment runs share one Network).
+	maxDistOnce sync.Once
+	maxDist     int
 }
 
 // stubDomain holds a stub domain's parent attachment and its all-pairs hop

@@ -3,6 +3,7 @@ package overlay
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"asap/internal/netmodel"
 )
@@ -52,6 +53,7 @@ type Graph struct {
 	avgDeg float64
 	net    *netmodel.Network
 	rng    *rand.Rand // structural randomness (join wiring, leaf rehoming)
+	rngSrc *rand.PCG  // rng's source, kept so Clone can snapshot its state
 
 	// Two-tier state (SuperPeerKind only; nil on flat topologies).
 	super       []bool
@@ -65,6 +67,7 @@ func newGraph(kind Kind, net *netmodel.Network, hosts []netmodel.PhysID, avgDeg 
 	if len(hosts) == 0 {
 		panic("overlay: no hosts")
 	}
+	src := rand.NewPCG(uint64(len(hosts)), 0x6a09e667f3bcc908)
 	return &Graph{
 		kind:   kind,
 		adj:    make([][]NodeID, len(hosts)),
@@ -72,8 +75,48 @@ func newGraph(kind Kind, net *netmodel.Network, hosts []netmodel.PhysID, avgDeg 
 		alive:  make([]bool, len(hosts)),
 		avgDeg: avgDeg,
 		net:    net,
-		rng:    rand.New(rand.NewPCG(uint64(len(hosts)), 0x6a09e667f3bcc908)),
+		rng:    rand.New(src),
+		rngSrc: src,
 	}
+}
+
+// Clone returns a structurally independent deep copy: adjacency, liveness
+// and two-tier state are copied; the immutable host mapping and physical
+// network are shared. The clone's structural RNG resumes from the
+// original's current state, so a clone of a freshly generated graph
+// behaves bit-for-bit like regenerating it — the property that lets one
+// Lab generate each topology once and stamp out per-run copies.
+func (g *Graph) Clone() *Graph {
+	state, err := g.rngSrc.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("overlay: snapshotting rng: %v", err))
+	}
+	src := &rand.PCG{}
+	if err := src.UnmarshalBinary(state); err != nil {
+		panic(fmt.Sprintf("overlay: restoring rng: %v", err))
+	}
+	c := &Graph{
+		kind:   g.kind,
+		adj:    make([][]NodeID, len(g.adj)),
+		hosts:  g.hosts,
+		alive:  slices.Clone(g.alive),
+		live:   g.live,
+		avgDeg: g.avgDeg,
+		net:    g.net,
+		rng:    rand.New(src),
+		rngSrc: src,
+	}
+	for i, row := range g.adj {
+		if len(row) > 0 {
+			c.adj[i] = slices.Clone(row)
+		}
+	}
+	if g.super != nil {
+		c.super = slices.Clone(g.super)
+		c.parent = slices.Clone(g.parent)
+		c.lastRehomed = slices.Clone(g.lastRehomed)
+	}
+	return c
 }
 
 // Kind returns the topology family.

@@ -3,6 +3,7 @@ package overlay
 import (
 	"math"
 	"math/rand/v2"
+	"slices"
 	"testing"
 
 	"asap/internal/netmodel"
@@ -298,6 +299,97 @@ func BenchmarkNewRandom10k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = NewRandom(nw, hosts, 10000, 5, rand.New(rand.NewPCG(uint64(i), 0)))
+	}
+}
+
+// snapshotAdj copies every adjacency list so later mutations can be
+// detected.
+func snapshotAdj(g *Graph) [][]NodeID {
+	out := make([][]NodeID, g.N())
+	for v := range out {
+		out[v] = append([]NodeID(nil), g.Neighbors(NodeID(v))...)
+	}
+	return out
+}
+
+func sameStructure(a, b *Graph) bool {
+	if a.N() != b.N() || a.LiveCount() != b.LiveCount() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		id := NodeID(v)
+		if a.Alive(id) != b.Alive(id) || !slices.Equal(a.Neighbors(id), b.Neighbors(id)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	hosts := testHosts(t, 400, 20)
+	for _, k := range Kinds {
+		g := New(k, testNet, hosts, 350, rand.New(rand.NewPCG(20, uint64(k))))
+		c := g.Clone()
+		if c.Kind() != g.Kind() || !sameStructure(g, c) {
+			t.Fatalf("%v: clone differs from original", k)
+		}
+		if c.Host(7) != g.Host(7) || c.TargetDegree() != g.TargetDegree() {
+			t.Fatalf("%v: clone lost host mapping or degree target", k)
+		}
+		// Churn the original; the clone must not move.
+		before := snapshotAdj(c)
+		beforeLive := c.LiveCount()
+		rng := rand.New(rand.NewPCG(21, 21))
+		for i := 0; i < 50; i++ {
+			g.Leave(NodeID(rng.IntN(350)))
+		}
+		for i := 350; i < 380; i++ {
+			g.Join(NodeID(i), rng)
+		}
+		if c.LiveCount() != beforeLive {
+			t.Fatalf("%v: churning original changed clone's live count", k)
+		}
+		for v := range before {
+			if !slices.Equal(before[v], c.Neighbors(NodeID(v))) {
+				t.Fatalf("%v: churning original rewired clone at node %d", k, v)
+			}
+		}
+	}
+}
+
+// TestCloneReplaysLikeOriginal: the clone carries the original's structural
+// RNG state, so identical churn sequences produce identical graphs — the
+// property RunMatrix relies on to reuse one generated topology per scheme.
+// Super-peer graphs exercise the internal RNG hardest (leaf rehoming on
+// super-peer departure draws from it).
+func TestCloneReplaysLikeOriginal(t *testing.T) {
+	hosts := testHosts(t, 400, 22)
+	graphs := map[string]*Graph{
+		"crawled":   New(Crawled, testNet, hosts, 350, rand.New(rand.NewPCG(22, 0))),
+		"superpeer": NewSuperPeer(testNet, hosts, 350, DefaultSuperFraction, DefaultSuperDegree, rand.New(rand.NewPCG(22, 1))),
+	}
+	churn := func(g *Graph) {
+		rng := rand.New(rand.NewPCG(23, 23))
+		joined := 350
+		for i := 0; i < 250; i++ {
+			if rng.Float64() < 0.5 && joined < 400 {
+				g.Join(NodeID(joined), rng)
+				joined++
+			} else {
+				g.Leave(NodeID(rng.IntN(joined)))
+			}
+		}
+	}
+	for name, g := range graphs {
+		c := g.Clone()
+		churn(g)
+		churn(c)
+		if !sameStructure(g, c) {
+			t.Errorf("%s: identical churn diverged between original and clone", name)
+		}
+		if !slices.Equal(g.TakeRehomed(), c.TakeRehomed()) {
+			t.Errorf("%s: rehomed leaves diverged", name)
+		}
 	}
 }
 

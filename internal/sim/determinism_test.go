@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"slices"
 	"testing"
 
 	"asap/internal/content"
@@ -69,5 +70,66 @@ func TestParallelAggregatesMatchSerial(t *testing.T) {
 	}
 	if serial.LoadMeanKBps != parallel.LoadMeanKBps {
 		t.Fatalf("parallel changed load accounting: %v vs %v", serial.LoadMeanKBps, parallel.LoadMeanKBps)
+	}
+}
+
+// sameSummary compares every scalar aggregate plus the load series.
+func sameSummary(t *testing.T, label string, a, b metrics.Summary) {
+	t.Helper()
+	if a.Requests != b.Requests || a.SuccessRate != b.SuccessRate ||
+		a.MeanRespMS != b.MeanRespMS || a.MeanSearchBytes != b.MeanSearchBytes ||
+		a.LoadMeanKBps != b.LoadMeanKBps || a.LoadStdKBps != b.LoadStdKBps {
+		t.Fatalf("%s: summaries differ:\n%+v\n%+v", label, a, b)
+	}
+	if !slices.Equal(a.LoadSeries, b.LoadSeries) {
+		t.Fatalf("%s: load series diverge", label)
+	}
+}
+
+// TestTopoProtoReplayMatchesFresh: a System stamped from a TopoProto
+// (cloned overlay + restored construction RNG) replays bit-for-bit like
+// one built from scratch with the same seed — the equivalence RunMatrix's
+// per-Lab graph reuse rests on.
+func TestTopoProtoReplayMatchesFresh(t *testing.T) {
+	tr := testTrace(t)
+	for _, kind := range overlay.Kinds {
+		proto := NewTopoProto(kind, testNet, len(tr.Peers), tr.InitialLive, 9)
+		fresh := NewSystem(testU, tr, kind, testNet, 9)
+		stamped := proto.NewSystem(testU, tr)
+		for n := 0; n < fresh.NumNodes(); n++ {
+			id := overlay.NodeID(n)
+			if fresh.G.Host(id) != stamped.G.Host(id) {
+				t.Fatalf("%v: host placement differs at node %d", kind, n)
+			}
+			if !slices.Equal(fresh.G.Neighbors(id), stamped.G.Neighbors(id)) {
+				t.Fatalf("%v: initial wiring differs at node %d", kind, n)
+			}
+		}
+		a := Run(fresh, &echoScheme{}, RunOptions{Workers: 1})
+		b := Run(stamped, &echoScheme{}, RunOptions{Workers: 1})
+		sameSummary(t, kind.String(), a, b)
+		// Mid-run joins draw from the restored RNG; the overlays must have
+		// evolved identically.
+		for n := 0; n < fresh.NumNodes(); n++ {
+			id := overlay.NodeID(n)
+			if fresh.G.Alive(id) != stamped.G.Alive(id) ||
+				!slices.Equal(fresh.G.Neighbors(id), stamped.G.Neighbors(id)) {
+				t.Fatalf("%v: post-replay overlay diverged at node %d", kind, n)
+			}
+		}
+	}
+}
+
+// TestTopoProtoStampsAreIndependent: consecutive stamps from one prototype
+// replay identically and never contaminate each other or the master graph.
+func TestTopoProtoStampsAreIndependent(t *testing.T) {
+	tr := testTrace(t)
+	proto := NewTopoProto(overlay.Crawled, testNet, len(tr.Peers), tr.InitialLive, 9)
+	liveBefore := proto.Graph().LiveCount()
+	a := Run(proto.NewSystem(testU, tr), &echoScheme{}, RunOptions{Workers: 1})
+	b := Run(proto.NewSystem(testU, tr), &echoScheme{}, RunOptions{Workers: 1})
+	sameSummary(t, "stamp", a, b)
+	if proto.Graph().LiveCount() != liveBefore {
+		t.Fatal("replays mutated the prototype's master graph")
 	}
 }

@@ -15,6 +15,10 @@ import (
 // activity happens at negative times.
 type Clock = int64
 
+// sysRngStream is the PCG stream constant of the system-construction RNG
+// (host placement, overlay generation, join wiring).
+const sysRngStream = 0xe7037ed1a0b428db
+
 // System is the dynamic state a scheme searches over: the overlay graph,
 // per-node shared contents with a keyword index, node interests, and the
 // load account. State mutations (ApplyEvent) are serialised by the runner;
@@ -54,7 +58,54 @@ func NewSystemWithGraph(u *content.Universe, tr *trace.Trace, g *overlay.Graph) 
 		panic(fmt.Sprintf("sim: graph has %d nodes, trace has %d peers", g.N(), len(tr.Peers)))
 	}
 	s := newSystemState(u, tr.Peers, tr.InitialLive, int(tr.Span()/1000)+2, g,
-		rand.New(rand.NewPCG(uint64(g.N()), 0xe7037ed1a0b428db)))
+		rand.New(rand.NewPCG(uint64(g.N()), sysRngStream)))
+	s.Tr = tr
+	return s
+}
+
+// TopoProto is a reusable topology prototype: one generated overlay plus
+// the replay RNG state captured right after generation. Overlay
+// generation dominates per-run setup cost, so experiment drivers generate
+// each topology once and stamp out per-run copies with NewSystem. Because
+// the captured RNG resumes exactly where NewSystem's own would, the
+// copies replay bit-for-bit like a System built from scratch with the
+// same seed (join wiring draws the same numbers).
+type TopoProto struct {
+	g        *overlay.Graph
+	rngState []byte
+}
+
+// NewTopoProto generates the overlay for one (topology, network, peer
+// population, seed) combination, mirroring NewSystem's setup sequence.
+func NewTopoProto(kind overlay.Kind, net *netmodel.Network, nPeers, initialLive int, seed uint64) *TopoProto {
+	src := rand.NewPCG(seed, sysRngStream)
+	rng := rand.New(src)
+	hosts := net.RandomNodes(nPeers, rng)
+	g := overlay.New(kind, net, hosts, initialLive, rng)
+	state, err := src.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("sim: snapshotting rng: %v", err))
+	}
+	return &TopoProto{g: g, rngState: state}
+}
+
+// Graph exposes the prototype's master overlay (read-only; runs always
+// operate on clones).
+func (p *TopoProto) Graph() *overlay.Graph { return p.g }
+
+// NewSystem stamps out one independent replay state over a clone of the
+// prototype's overlay. The trace must cover exactly the peer count the
+// prototype was generated for. Safe to call concurrently: each call
+// clones the master graph and restores a private RNG.
+func (p *TopoProto) NewSystem(u *content.Universe, tr *trace.Trace) *System {
+	if p.g.N() != len(tr.Peers) {
+		panic(fmt.Sprintf("sim: prototype has %d nodes, trace has %d peers", p.g.N(), len(tr.Peers)))
+	}
+	src := &rand.PCG{}
+	if err := src.UnmarshalBinary(p.rngState); err != nil {
+		panic(fmt.Sprintf("sim: restoring rng: %v", err))
+	}
+	s := newSystemState(u, tr.Peers, tr.InitialLive, int(tr.Span()/1000)+2, p.g.Clone(), rand.New(src))
 	s.Tr = tr
 	return s
 }
@@ -64,7 +115,7 @@ func NewSystemWithGraph(u *content.Universe, tr *trace.Trace, g *overlay.Graph) 
 // public Cluster API). horizonSec sizes the load account.
 func NewSystemForPeers(u *content.Universe, peers []content.PeerID, initialLive, horizonSec int, kind overlay.Kind, net *netmodel.Network, seed uint64) *System {
 	n := len(peers)
-	rng := rand.New(rand.NewPCG(seed, 0xe7037ed1a0b428db))
+	rng := rand.New(rand.NewPCG(seed, sysRngStream))
 	hosts := net.RandomNodes(n, rng)
 	g := overlay.New(kind, net, hosts, initialLive, rng)
 	return newSystemState(u, peers, initialLive, horizonSec, g, rng)
