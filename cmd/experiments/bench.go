@@ -23,16 +23,23 @@ type benchSide struct {
 
 // benchRecord is the machine-readable perf record -benchjson emits: the
 // sequential fresh-graph baseline (the pre-optimization RunMatrix) versus
-// the parallel cloned-graph path, over the same lab.
+// the parallel cloned-graph path, over the same lab. Both sides are timed
+// on the same process, so gomaxprocs/num_cpu record how much parallelism
+// the parallel side could actually use: on a single-CPU machine the two
+// sides run the same schedule and speedup_x is null — wall_ms and the
+// allocation counters remain comparable, the ratio does not measure the
+// parallel path.
 type benchRecord struct {
 	Scale        string    `json:"scale"`
 	Seed         uint64    `json:"seed"`
 	GOMAXPROCS   int       `json:"gomaxprocs"`
+	NumCPU       int       `json:"num_cpu"`
 	Runs         int       `json:"runs"`
 	LabBuildMS   float64   `json:"lab_build_ms"`
 	Baseline     benchSide `json:"baseline_sequential_fresh"`
 	Optimized    benchSide `json:"optimized_parallel_cloned"`
-	SpeedupX     float64   `json:"speedup_x"`
+	SpeedupX     *float64  `json:"speedup_x"`
+	SpeedupNote  string    `json:"speedup_note,omitempty"`
 	OutputsEqual bool      `json:"outputs_equal"`
 	When         string    `json:"when"`
 }
@@ -99,10 +106,10 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 	}
 	matrixWorkers = sc.MatrixWorkers
 	if matrixWorkers <= 0 {
-		matrixWorkers = runtime.GOMAXPROCS(0)
+		matrixWorkers = runtime.NumCPU()
 	}
 	progress("benchjson: parallel optimized (cloned graphs, %d workers)…", matrixWorkers)
-	optMat, opt, err := timedMatrix(lab, experiments.MatrixOptions{Workers: sc.MatrixWorkers})
+	optMat, opt, err := timedMatrix(lab, experiments.MatrixOptions{Workers: matrixWorkers})
 	if err != nil {
 		return err
 	}
@@ -115,13 +122,22 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 		Scale:        sc.Name,
 		Seed:         sc.Seed,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Runs:         runs,
 		LabBuildMS:   float64(labBuild.Milliseconds()),
 		Baseline:     base,
 		Optimized:    opt,
-		SpeedupX:     base.WallMS / opt.WallMS,
 		OutputsEqual: reflect.DeepEqual(baseMat, optMat),
 		When:         time.Now().UTC().Format(time.RFC3339),
+	}
+	// A speedup ratio only measures the parallel path when the process can
+	// actually run workers concurrently; with one usable CPU the ratio is
+	// scheduling noise around 1.0, so emit null rather than a bogus figure.
+	if opt.Workers > 1 && runtime.GOMAXPROCS(0) > 1 {
+		x := base.WallMS / opt.WallMS
+		rec.SpeedupX = &x
+	} else {
+		rec.SpeedupNote = "single-CPU host: parallel side degenerates to the sequential schedule; compare wall_ms and allocs_per_run, not a speedup ratio"
 	}
 	if !rec.OutputsEqual {
 		return fmt.Errorf("benchjson: parallel matrix differs from sequential baseline")
@@ -134,7 +150,12 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	progress("benchjson: %.0f ms → %.0f ms (%.2fx, outputs equal) → %s",
-		rec.Baseline.WallMS, rec.Optimized.WallMS, rec.SpeedupX, path)
+	if rec.SpeedupX != nil {
+		progress("benchjson: %.0f ms → %.0f ms (%.2fx, outputs equal) → %s",
+			rec.Baseline.WallMS, rec.Optimized.WallMS, *rec.SpeedupX, path)
+	} else {
+		progress("benchjson: %.0f ms → %.0f ms (1 CPU, speedup n/a, outputs equal) → %s",
+			rec.Baseline.WallMS, rec.Optimized.WallMS, path)
+	}
 	return nil
 }

@@ -1,0 +1,42 @@
+package bloom
+
+// Aggregate-union support for the indexed ads cache: a node folds the
+// filters of its cached ads into per-topic unions (raw word vectors) and
+// tests query probes against the union to rule out a whole topic's ads at
+// once. Unions are monotone — bits are ORed in and never cleared — so a
+// union always remains a superset of every filter folded into it, which is
+// what lets a failed union test prove that no folded filter can pass.
+//
+// Unions assume the paper's fixed default geometry; variable-length
+// filters cannot share one union vector and callers disable aggregation
+// when VariableFilters is on.
+
+// DefaultWords is the word length of one default-geometry filter vector.
+const DefaultWords = (DefaultBits + 63) / 64
+
+// UnionInto ORs f's bit vector into dst, which must hold a default-
+// geometry union. It panics on a geometry mismatch: folding a filter of a
+// different length would corrupt the union's superset guarantee.
+func (f *Filter) UnionInto(dst []uint64) {
+	if f.m != DefaultBits {
+		panic("bloom: UnionInto on a non-default filter geometry")
+	}
+	for i, w := range f.words {
+		dst[i] |= w
+	}
+}
+
+// WordsContainAllProbes tests probes against a raw default-geometry word
+// vector (an aggregate union). A false result proves that no filter folded
+// into the union contains all the probed keys.
+func WordsContainAllProbes(words []uint64, ps []Probe) bool {
+	for _, p := range ps {
+		for i := uint32(0); i < DefaultHashes; i++ {
+			pos := (p.h1 + i*p.h2) % DefaultBits
+			if words[pos>>6]&(1<<(pos&63)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

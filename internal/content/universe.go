@@ -328,3 +328,10 @@ func containsKeyword(xs []Keyword, x Keyword) bool {
 	}
 	return false
 }
+
+// ClassOfKeyword returns the semantic class a keyword belongs to. Keywords
+// are class-scoped by construction (see Keyword), so the mapping is exact:
+// a document can only contain keyword kw if its class is ClassOfKeyword(kw).
+func (u *Universe) ClassOfKeyword(kw Keyword) Class {
+	return Class((int(kw) - 1) / u.cfg.VocabPerClass)
+}

@@ -24,22 +24,39 @@ type adSnapshot struct {
 	patchWire int // wire bytes of the patch from the previous version
 }
 
-// cachedAd is one ads-cache entry: a snapshot pointer plus freshness.
+// cachedAd is one ads-cache entry: a snapshot pointer plus freshness and
+// the fifo insertion sequence that threads it through the topic index.
 type cachedAd struct {
 	snap     *adSnapshot
 	lastSeen sim.Clock
+	seq      uint32
 }
 
 // nodeState is the per-node ASAP state: own publication and the ads cache.
-// mu guards cache and published against concurrent Search calls; own
-// content bookkeeping (classCnt) is only touched from runner-serialised
-// callbacks.
+// mu guards cache, published and the topic index against concurrent Search
+// calls; own content bookkeeping (classCnt, dirty) is only touched from
+// runner-serialised callbacks.
+//
+// The zero value is valid: empty chains are all-zero (1-based links),
+// aggOn=false disables aggregate maintenance, and minSeen=0 makes the
+// staleness gate conservative (dropStale runs and self-heals it).
 type nodeState struct {
 	mu        sync.Mutex
 	published *adSnapshot
 	cache     map[overlay.NodeID]cachedAd
 	fifo      []overlay.NodeID // insertion order for eviction
 	classCnt  [content.NumClasses]int32
+	dirty     bool // own content changed since the last publish rebuild
+
+	// Topic index over cache (see adindex.go).
+	nextSeq   uint32
+	elems     []idxElem
+	head      [content.NumClasses]int32 // 1-based; 0 = empty chain
+	tail      [content.NumClasses]int32
+	deadElems int32
+	agg       []uint64  // per-class aggregate unions, NumClasses×aggStride
+	aggOn     bool      // aggregates valid (fixed filter geometry)
+	minSeen   sim.Clock // lower bound on cached lastSeen; staleness gate
 }
 
 // topicsFromCounts derives the node's current topic set T(a) = {t(d) | d ∈
@@ -84,18 +101,38 @@ func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacit
 			ns.cache[snap.src] = cur
 			return storedOK
 		}
-		ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now}
-		if !ok {
-			ns.fifo = append(ns.fifo, snap.src)
-			ns.evictOver(capacity)
+		if ok {
+			// Replacement keeps the entry's fifo position and seq.
+			if cur.snap != snap {
+				if cur.snap.topics != snap.topics {
+					ns.idxRetopic(snap.src, cur.seq, cur.snap.topics, snap.topics)
+				}
+				ns.aggOr(snap)
+			}
+			ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now, seq: cur.seq}
+			return storedOK
 		}
+		seq := ns.nextSeq
+		ns.nextSeq++
+		ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now, seq: seq}
+		ns.fifo = append(ns.fifo, snap.src)
+		ns.idxInsert(snap.src, seq, snap.topics)
+		ns.aggOr(snap)
+		if now < ns.minSeen {
+			ns.minSeen = now
+		}
+		ns.evictOver(capacity)
 		return storedOK
 	case adPatch:
 		if !ok {
 			return storedIgnored
 		}
 		if cur.snap.version+1 == snap.version {
-			ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now}
+			if cur.snap.topics != snap.topics {
+				ns.idxRetopic(snap.src, cur.seq, cur.snap.topics, snap.topics)
+			}
+			ns.aggOr(snap)
+			ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now, seq: cur.seq}
 			return storedOK
 		}
 		if newerVersion(snap.version, cur.snap.version) {
@@ -129,13 +166,19 @@ func newerVersion(a, b uint16) bool {
 	return a != b && int16(a-b) > 0
 }
 
-// evictOver pops FIFO entries until the cache fits capacity.
+// evictOver pops FIFO entries until the cache fits capacity. The victims'
+// index elements go dead and are reclaimed lazily (traversal unlink or
+// compaction).
 func (ns *nodeState) evictOver(capacity int) {
 	for len(ns.cache) > capacity && len(ns.fifo) > 0 {
 		victim := ns.fifo[0]
 		ns.fifo = ns.fifo[1:]
-		delete(ns.cache, victim)
+		if e, ok := ns.cache[victim]; ok {
+			ns.deadElems += int32(e.snap.topics.Count())
+			delete(ns.cache, victim)
+		}
 	}
+	ns.maybeCompact()
 }
 
 // drop removes src from the cache and its insertion-order list, keeping
@@ -144,9 +187,11 @@ func (ns *nodeState) evictOver(capacity int) {
 // under mu; dead-source eviction is rare enough that the linear scan does
 // not matter.
 func (ns *nodeState) drop(src overlay.NodeID) {
-	if _, ok := ns.cache[src]; !ok {
+	e, ok := ns.cache[src]
+	if !ok {
 		return
 	}
+	ns.deadElems += int32(e.snap.topics.Count())
 	delete(ns.cache, src)
 	for i, x := range ns.fifo {
 		if x == src {
@@ -156,22 +201,32 @@ func (ns *nodeState) drop(src overlay.NodeID) {
 	}
 }
 
-// dropStale removes entries last seen before deadline. Called under mu.
+// dropStale removes entries last seen before deadline and recomputes the
+// minSeen watermark from the survivors, so Search can skip the sweep until
+// an entry can actually expire. Called under mu.
 func (ns *nodeState) dropStale(deadline sim.Clock) {
 	if len(ns.cache) == 0 {
+		ns.minSeen = maxClock
 		return
 	}
+	minSeen := maxClock
 	kept := ns.fifo[:0]
 	for _, src := range ns.fifo {
 		if e, ok := ns.cache[src]; ok {
 			if e.lastSeen < deadline {
+				ns.deadElems += int32(e.snap.topics.Count())
 				delete(ns.cache, src)
 			} else {
+				if e.lastSeen < minSeen {
+					minSeen = e.lastSeen
+				}
 				kept = append(kept, src)
 			}
 		}
 	}
 	ns.fifo = kept
+	ns.minSeen = minSeen
+	ns.maybeCompact()
 }
 
 // adKind discriminates the three ad types of §III-B.

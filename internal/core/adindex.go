@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/bits"
+
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// Topic-keyed posting chains over the ads cache. Each cached entry is
+// threaded into one singly linked chain per topic class, so Search scans
+// only the chains that can hold a match and ads replies enumerate a
+// neighbour's interest-matching entries without touching the rest of the
+// cache. The chains are an acceleration structure over the fifo/cache
+// pair, not a second source of truth:
+//
+//   - every element carries the entry's fifo insertion sequence (seq);
+//     chains are kept in ascending seq order, so fifo order is recovered
+//     exactly by merging chains (serveAds);
+//   - elements are validated lazily against the cache on traversal — an
+//     element whose entry was evicted, replaced under a new seq, or
+//     re-topiced away from the chain's class is unlinked in passing;
+//   - per-class aggregate filter unions (see bloom.UnionInto) are monotone
+//     supersets of every cached filter with that topic, letting Search
+//     skip whole complement classes whose union fails the query probes.
+//
+// All index state lives in nodeState and is guarded by nodeState.mu.
+
+// idxElem is one posting-chain element. Links are 1-based arena indices
+// (0 terminates), so a zero-valued nodeState has valid empty chains.
+type idxElem struct {
+	src  overlay.NodeID
+	seq  uint32
+	next int32
+}
+
+// maxClock is the highest representable virtual time; the watermark of an
+// empty cache.
+const maxClock = sim.Clock(1)<<62 - 1
+
+// aggStride is the word length of one class's aggregate union.
+const aggStride = bloom.DefaultWords
+
+// allClasses selects every posting chain (the full linear scan).
+const allClasses = content.ClassSet(1)<<content.NumClasses - 1
+
+// idxInsert threads a freshly inserted cache entry into the chains of its
+// topics. seq is monotone over insertions, so appending at the tails
+// preserves the ascending-seq invariant.
+func (ns *nodeState) idxInsert(src overlay.NodeID, seq uint32, topics content.ClassSet) {
+	for t := uint16(topics); t != 0; t &= t - 1 {
+		c := bits.TrailingZeros16(t)
+		e := int32(len(ns.elems)) + 1
+		ns.elems = append(ns.elems, idxElem{src: src, seq: seq})
+		if ns.tail[c] == 0 {
+			ns.head[c] = e
+		} else {
+			ns.elems[ns.tail[c]-1].next = e
+		}
+		ns.tail[c] = e
+	}
+}
+
+// idxRetopic fixes the chains after src's cached snapshot changed topics
+// in place (a patch or full-ad replacement): classes the new set gains get
+// a seq-ordered insertion at the entry's original fifo position, classes
+// it loses are left to lazy cleanup. The entry keeps its seq — replacing a
+// cached ad does not move it in the fifo.
+func (ns *nodeState) idxRetopic(src overlay.NodeID, seq uint32, oldT, newT content.ClassSet) {
+	for t := uint16(newT &^ oldT); t != 0; t &= t - 1 {
+		ns.idxSortedInsert(content.Class(bits.TrailingZeros16(t)), src, seq)
+	}
+	ns.deadElems += int32((oldT &^ newT).Count())
+}
+
+// idxSortedInsert links (src, seq) into chain c at its seq position. If a
+// lazily retained element for the same (src, seq) is still threaded — the
+// entry's topics flapped c off and back on — it simply becomes valid again.
+func (ns *nodeState) idxSortedInsert(c content.Class, src overlay.NodeID, seq uint32) {
+	prev := int32(0)
+	for e := ns.head[c]; e != 0; e = ns.elems[e-1].next {
+		el := &ns.elems[e-1]
+		if el.seq == seq && el.src == src {
+			return
+		}
+		if el.seq > seq {
+			break
+		}
+		prev = e
+	}
+	e := int32(len(ns.elems)) + 1
+	var next int32
+	if prev == 0 {
+		next = ns.head[c]
+		ns.head[c] = e
+	} else {
+		next = ns.elems[prev-1].next
+		ns.elems[prev-1].next = e
+	}
+	ns.elems = append(ns.elems, idxElem{src: src, seq: seq, next: next})
+	if next == 0 {
+		ns.tail[c] = e
+	}
+}
+
+// unlink removes element e (whose predecessor in chain c is prev, 0 for
+// the head) and returns its successor.
+func (ns *nodeState) unlink(c content.Class, prev, e int32) int32 {
+	next := ns.elems[e-1].next
+	if prev == 0 {
+		ns.head[c] = next
+	} else {
+		ns.elems[prev-1].next = next
+	}
+	if next == 0 {
+		ns.tail[c] = prev
+	}
+	return next
+}
+
+// aggOr folds snap's filter into the aggregate unions of its topics. Bits
+// are never cleared, so each union stays a superset of every filter folded
+// in — the property the complement-class skip in Search relies on.
+func (ns *nodeState) aggOr(snap *adSnapshot) {
+	if !ns.aggOn {
+		return
+	}
+	if ns.agg == nil {
+		ns.agg = make([]uint64, content.NumClasses*aggStride)
+	}
+	for t := uint16(snap.topics); t != 0; t &= t - 1 {
+		c := bits.TrailingZeros16(t)
+		snap.filter.UnionInto(ns.agg[c*aggStride : (c+1)*aggStride])
+	}
+}
+
+// maybeCompact rebuilds the posting arena once dead (unlinked or
+// invalidated) elements dominate it, bounding index memory under cache
+// churn. Rebuilding in fifo order restores the ascending-seq invariant.
+func (ns *nodeState) maybeCompact() {
+	if ns.deadElems < 64 || int(ns.deadElems)*2 < len(ns.elems) {
+		return
+	}
+	ns.elems = ns.elems[:0]
+	for i := range ns.head {
+		ns.head[i], ns.tail[i] = 0, 0
+	}
+	ns.deadElems = 0
+	for _, src := range ns.fifo {
+		if e, ok := ns.cache[src]; ok {
+			ns.idxInsert(src, e.seq, e.snap.topics)
+		}
+	}
+}
+
+// scanChains walks the posting chains of the classes in scan and appends
+// the sources whose filters pass every probe. A valid entry is processed
+// exactly once — in the chain of the lowest class of topics ∩ scan — and
+// elements pointing at evicted, superseded or re-topiced entries are
+// unlinked in passing. Called under mu; with scan == allClasses this is
+// the full cache scan in chain order.
+func (ns *nodeState) scanChains(scan content.ClassSet, probes []bloom.Probe, out []overlay.NodeID) []overlay.NodeID {
+	for t := uint16(scan); t != 0; t &= t - 1 {
+		c := content.Class(bits.TrailingZeros16(t))
+		prev := int32(0)
+		for e := ns.head[c]; e != 0; {
+			el := ns.elems[e-1]
+			entry, ok := ns.cache[el.src]
+			if !ok || entry.seq != el.seq || !entry.snap.topics.Has(c) {
+				e = ns.unlink(c, prev, e)
+				continue
+			}
+			prev, e = e, el.next
+			hit := uint16(entry.snap.topics & scan)
+			if content.Class(bits.TrailingZeros16(hit)) != c {
+				continue // processed in its canonical (lowest shared) chain
+			}
+			if entry.snap.filter.ContainsAllProbes(probes) {
+				out = append(out, el.src)
+			}
+		}
+	}
+	return out
+}
+
+// serveAds appends up to max cached snapshots whose topics intersect
+// interests, in fifo (ascending-seq) order, skipping entries staler than
+// staleBefore, the requester's own ad, and — on search-time pulls — ads
+// failing the query probes. It merges the interest-class chains by seq,
+// which enumerates exactly the entries a full fifo walk with the same
+// predicate would, in the same order. Called under mu.
+func (ns *nodeState) serveAds(buf []*adSnapshot, interests content.ClassSet, staleBefore sim.Clock, probes []bloom.Probe, requester overlay.NodeID, max int) []*adSnapshot {
+	var cur, prv [content.NumClasses]int32
+	var cls [content.NumClasses]content.Class
+	nc := 0
+	for t := uint16(interests); t != 0; t &= t - 1 {
+		c := content.Class(bits.TrailingZeros16(t))
+		if ns.head[c] != 0 {
+			cls[nc], cur[nc] = c, ns.head[c]
+			nc++
+		}
+	}
+	for len(buf) < max {
+		best := -1
+		var bestSeq uint32
+		for i := 0; i < nc; i++ {
+			if cur[i] == 0 {
+				continue
+			}
+			if sq := ns.elems[cur[i]-1].seq; best < 0 || sq < bestSeq {
+				best, bestSeq = i, sq
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c, e := cls[best], cur[best]
+		el := ns.elems[e-1]
+		entry, ok := ns.cache[el.src]
+		if !ok || entry.seq != el.seq || !entry.snap.topics.Has(c) {
+			cur[best] = ns.unlink(c, prv[best], e)
+			continue
+		}
+		prv[best], cur[best] = e, el.next
+		if hit := uint16(entry.snap.topics & interests); content.Class(bits.TrailingZeros16(hit)) != c {
+			continue // offered from its canonical chain
+		}
+		if entry.lastSeen < staleBefore || entry.snap.src == requester {
+			continue
+		}
+		if probes != nil && !entry.snap.filter.ContainsAllProbes(probes) {
+			continue
+		}
+		buf = append(buf, entry.snap)
+	}
+	return buf
+}
+
+// scanClasses returns the classes whose chains phase 1 must scan: the
+// query's own keyword classes plus every complement class whose aggregate
+// union passes all probes. Keywords are class-scoped (ClassOfKeyword is
+// exact), so an ad that truly contains every query term carries at least
+// one query class among its topics. An ad that merely Bloom-false-
+//-positives the probes has a filter that is a subset of each of its topic
+// unions, so those unions pass the probes too and its chains are scanned —
+// the candidate set is exactly the linear scan's, false positives
+// included. Without aggregates (variable filter geometries, or an empty
+// cache history) every class is scanned.
+func (s *Scheme) scanClasses(ns *nodeState, terms []content.Keyword, probes []bloom.Probe) content.ClassSet {
+	if !ns.aggOn || ns.agg == nil {
+		return allClasses
+	}
+	var q content.ClassSet
+	for _, t := range terms {
+		q = q.Add(s.sys.U.ClassOfKeyword(t))
+	}
+	scan := q
+	for c := Class(0); c < content.NumClasses; c++ {
+		if q.Has(c) {
+			continue
+		}
+		if bloom.WordsContainAllProbes(ns.agg[int(c)*aggStride:(int(c)+1)*aggStride], probes) {
+			scan = scan.Add(c)
+		}
+	}
+	return scan
+}
+
+// Class aliases content.Class for the loop above.
+type Class = content.Class

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// idxSnap builds a snapshot whose filter holds the given keys. Tests keep
+// keys class-scoped by convention (class c owns keys c*1000+1 …
+// c*1000+999), mirroring the production invariant that an ad's filter only
+// contains keywords of its topic classes.
+func idxSnap(src overlay.NodeID, version uint16, topics content.ClassSet, keys []uint64) *adSnapshot {
+	f := bloom.NewDefault()
+	for _, k := range keys {
+		f.AddKey(k)
+	}
+	return &adSnapshot{src: src, version: version, topics: topics, filter: f, fullWire: f.WireSize(), patchWire: 8}
+}
+
+// randTopics draws 1–3 distinct classes.
+func randTopics(rng *rand.Rand) content.ClassSet {
+	var ts content.ClassSet
+	for n := 1 + rng.IntN(3); n > 0; n-- {
+		ts = ts.Add(content.Class(rng.IntN(content.NumClasses)))
+	}
+	return ts
+}
+
+// classKeys draws 1–4 keys from each of the topic classes' key ranges.
+func classKeys(rng *rand.Rand, topics content.ClassSet) []uint64 {
+	var keys []uint64
+	for _, c := range topics.Classes() {
+		for n := 1 + rng.IntN(4); n > 0; n-- {
+			keys = append(keys, uint64(int(c)*1000+1+rng.IntN(999)))
+		}
+	}
+	return keys
+}
+
+// churn applies one random cache mutation and returns the version counter
+// map it maintains.
+func churnStep(rng *rand.Rand, ns *nodeState, vers map[overlay.NodeID]uint16, now sim.Clock, capacity int) {
+	src := overlay.NodeID(rng.IntN(120))
+	switch rng.IntN(8) {
+	case 0, 1, 2, 3: // full ad (insert or replace), sometimes with new topics
+		vers[src]++
+		topics := randTopics(rng)
+		ns.store(idxSnap(src, vers[src], topics, classKeys(rng, topics)), adFull, now, capacity)
+	case 4: // sequential patch with possibly different topics
+		if cur, ok := ns.cache[src]; ok {
+			vers[src] = cur.snap.version + 1
+			topics := randTopics(rng)
+			ns.store(idxSnap(src, vers[src], topics, classKeys(rng, topics)), adPatch, now, capacity)
+		}
+	case 5: // refresh
+		if cur, ok := ns.cache[src]; ok {
+			ns.store(cur.snap, adRefresh, now, capacity)
+		}
+	case 6:
+		ns.drop(src)
+	case 7:
+		ns.dropStale(now - 400)
+	}
+}
+
+// TestScanChainsMatchesLinearScan is the tentpole's exactness property:
+// across random caches under churn and eviction, the topic-indexed lookup
+// (query classes plus aggregate-passing complement classes) returns
+// exactly the candidate set of a reference linear scan — same members,
+// same order after a deterministic sort.
+func TestScanChainsMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 23))
+	ns := &nodeState{cache: make(map[overlay.NodeID]cachedAd), aggOn: true, minSeen: maxClock}
+	vers := make(map[overlay.NodeID]uint16)
+	const capacity = 40
+
+	for i := 0; i < 4000; i++ {
+		churnStep(rng, ns, vers, sim.Clock(i), capacity)
+		if i%7 != 0 {
+			continue
+		}
+		// A query over 1–2 classes, 1–3 terms each.
+		qClasses := content.ClassSet(0).Add(content.Class(rng.IntN(content.NumClasses)))
+		if rng.IntN(2) == 0 {
+			qClasses = qClasses.Add(content.Class(rng.IntN(content.NumClasses)))
+		}
+		keys := classKeys(rng, qClasses)
+		probes := bloom.AppendKeyProbes(nil, keys)
+
+		// Scan set as Search computes it: query classes plus complement
+		// classes whose aggregate union passes every probe.
+		scan := qClasses
+		if ns.agg != nil {
+			for c := content.Class(0); c < content.NumClasses; c++ {
+				if !qClasses.Has(c) && bloom.WordsContainAllProbes(ns.agg[int(c)*aggStride:(int(c)+1)*aggStride], probes) {
+					scan = scan.Add(c)
+				}
+			}
+		} else {
+			scan = allClasses
+		}
+
+		var want []overlay.NodeID
+		for src, e := range ns.cache {
+			if e.snap.filter.ContainsAllProbes(probes) {
+				want = append(want, src)
+			}
+		}
+		got := ns.scanChains(scan, probes, nil)
+		full := ns.scanChains(allClasses, probes, nil)
+		slices.Sort(want)
+		slices.Sort(got)
+		slices.Sort(full)
+		if !slices.Equal(got, want) {
+			t.Fatalf("step %d: indexed scan %v != linear scan %v (scan=%b)", i, got, want, scan)
+		}
+		if !slices.Equal(full, want) {
+			t.Fatalf("step %d: full chain scan %v != linear scan %v", i, full, want)
+		}
+	}
+}
+
+// TestServeAdsMatchesFifoWalk: the chain merge that builds an ads reply
+// enumerates exactly the snapshots a full fifo walk with the same
+// predicate would, in the same order, under every combination of interest
+// sets, staleness cut-offs, probe filtering, requester exclusion and
+// reply caps.
+func TestServeAdsMatchesFifoWalk(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 17))
+	ns := &nodeState{cache: make(map[overlay.NodeID]cachedAd), aggOn: true, minSeen: maxClock}
+	vers := make(map[overlay.NodeID]uint16)
+	const capacity = 40
+
+	var buf []*adSnapshot
+	for i := 0; i < 4000; i++ {
+		churnStep(rng, ns, vers, sim.Clock(i), capacity)
+		if i%5 != 0 {
+			continue
+		}
+		interests := randTopics(rng)
+		if rng.IntN(8) == 0 {
+			interests = 0 // uninterested requester: empty reply
+		}
+		staleBefore := sim.Clock(i - rng.IntN(600))
+		var probes []bloom.Probe
+		if rng.IntN(2) == 0 { // search-time pull; nil = join-time pull
+			probes = bloom.AppendKeyProbes(nil, classKeys(rng, randTopics(rng)))
+		}
+		requester := overlay.NodeID(rng.IntN(120))
+		max := 1 + rng.IntN(8)
+
+		var want []*adSnapshot
+		count := 0
+		for _, src := range ns.fifo {
+			e := ns.cache[src]
+			if e.lastSeen < staleBefore {
+				continue
+			}
+			if count >= max {
+				break
+			}
+			if e.snap.src == requester || !e.snap.topics.Intersects(interests) {
+				continue
+			}
+			if probes != nil && !e.snap.filter.ContainsAllProbes(probes) {
+				continue
+			}
+			want = append(want, e.snap)
+			count++
+		}
+		got := ns.serveAds(buf[:0], interests, staleBefore, probes, requester, max)
+		buf = got
+		if !slices.Equal(got, want) {
+			t.Fatalf("step %d: serveAds returned %d ads, fifo walk %d (interests=%b max=%d)", i, len(got), len(want), interests, max)
+		}
+	}
+}
+
+// TestDropStaleWatermarkGateEquivalence: gating the expiry sweep on the
+// minSeen watermark (as Search does) never changes observable cache
+// state versus sweeping unconditionally on every query.
+func TestDropStaleWatermarkGateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	gated := &nodeState{cache: make(map[overlay.NodeID]cachedAd), minSeen: maxClock}
+	ref := &nodeState{cache: make(map[overlay.NodeID]cachedAd), minSeen: maxClock}
+	const capacity = 25
+
+	for i := 0; i < 3000; i++ {
+		now := sim.Clock(i * 3)
+		src := overlay.NodeID(rng.IntN(60))
+		switch rng.IntN(4) {
+		case 0, 1:
+			sp := idxSnap(src, uint16(i), randTopics(rng), nil)
+			gated.store(sp, adFull, now, capacity)
+			ref.store(sp, adFull, now, capacity)
+		case 2:
+			gated.drop(src)
+			ref.drop(src)
+		case 3: // a search arrives: gated sweep vs unconditional sweep
+			deadline := now - 200
+			if gated.minSeen < deadline {
+				gated.dropStale(deadline)
+			}
+			ref.dropStale(deadline)
+			if !slices.Equal(gated.fifo, ref.fifo) {
+				t.Fatalf("step %d: fifo diverged: %v vs %v", i, gated.fifo, ref.fifo)
+			}
+			for k, v := range ref.cache {
+				if g, ok := gated.cache[k]; !ok || g.lastSeen != v.lastSeen || g.snap != v.snap {
+					t.Fatalf("step %d: cache diverged at %d", i, k)
+				}
+			}
+			if len(gated.cache) != len(ref.cache) {
+				t.Fatalf("step %d: cache sizes diverged", i)
+			}
+		}
+	}
+}
+
+// TestStaleWindowRegression pins the staleness window semantics end to
+// end: an ad last refreshed at time T is served by Search up to and
+// including T + StaleFactor×RefreshPeriodSec seconds and expired from the
+// cache strictly after.
+func TestStaleWindowRegression(t *testing.T) {
+	s, _ := attach(t, FLD)
+	p := overlay.NodeID(1)
+	// A reserve node that never joined: no real published ad of its can
+	// reach p's cache through phase-2 pulls and resurrect the entry.
+	src := overlay.NodeID(s.sys.NumNodes() - 1)
+	window := sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec) * 1000
+
+	const T = sim.Clock(1_000_000)
+	ns := &s.nodes[p]
+	topics := content.ClassSet(0).Add(0)
+	sp := idxSnap(src, 1000, topics, []uint64{42})
+	ns.mu.Lock()
+	ns.store(sp, adFull, T, s.cfg.CacheCapacity)
+	ns.mu.Unlock()
+
+	search := func(at sim.Clock) {
+		t.Helper()
+		ev := &trace.Event{Kind: trace.Query, Node: p, Time: at, Terms: []content.Keyword{1}}
+		s.Search(ev)
+	}
+
+	// At deadline == T the entry is not yet stale (strict <).
+	search(T + window)
+	ns.mu.Lock()
+	_, ok := ns.cache[src]
+	ns.mu.Unlock()
+	if !ok {
+		t.Fatalf("entry expired at exactly window boundary; want survival (lastSeen < deadline is strict)")
+	}
+	// One millisecond later it is.
+	search(T + window + 1)
+	ns.mu.Lock()
+	_, ok = ns.cache[src]
+	ns.mu.Unlock()
+	if ok {
+		t.Fatalf("entry still cached %d ms past its staleness window", 1)
+	}
+}

@@ -43,29 +43,33 @@ func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting c
 }
 
 // walkStarts returns w walker start points: the source's live neighbours,
-// cycled if w exceeds the neighbourhood.
+// cycled if w exceeds the neighbourhood. The result aliases s.wlkBuf and
+// is valid until the next call.
 func (s *Scheme) walkStarts(src overlay.NodeID, w int) []overlay.NodeID {
 	live := s.liveNeighbors(src)
 	if len(live) == 0 {
 		return nil
 	}
-	starts := make([]overlay.NodeID, 0, w)
+	starts := s.wlkBuf[:0]
 	for i := 0; i < w; i++ {
 		starts = append(starts, live[i%len(live)])
 	}
+	s.wlkBuf = starts
 	return starts
 }
 
 // liveNeighbors returns n's live neighbours; in hierarchical mode only
 // super-peer neighbours qualify (ads travel the backbone; leaves neither
-// forward nor cache).
+// forward nor cache). The result aliases s.nbrBuf and is valid until the
+// next call; deliveries run on the runner thread only.
 func (s *Scheme) liveNeighbors(n overlay.NodeID) []overlay.NodeID {
-	var out []overlay.NodeID
+	out := s.nbrBuf[:0]
 	for _, nb := range s.sys.G.Neighbors(n) {
 		if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
 			out = append(out, nb)
 		}
 	}
+	s.nbrBuf = out
 	return out
 }
 
@@ -79,15 +83,10 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 		}
 		s.epoch = 1
 	}
-	type item struct {
-		node overlay.NodeID
-		hop  int
-	}
-	queue := []item{{snap.src, 0}}
+	queue := append(s.floodQ[:0], floodItem{snap.src, 0})
 	s.stamp[snap.src] = s.epoch
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
+	for i := 0; i < len(queue); i++ {
+		it := queue[i]
 		if it.node != snap.src {
 			s.applyAd(t, it.node, snap, kind, targeting)
 		}
@@ -103,9 +102,18 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 				continue
 			}
 			s.stamp[nb] = s.epoch
-			queue = append(queue, item{nb, it.hop + 1})
+			queue = append(queue, floodItem{nb, it.hop + 1})
 		}
 	}
+	s.floodQ = queue
+}
+
+// floodItem is one BFS queue entry of deliverFlood: a reached node and its
+// hop distance from the source. The queue lives on the Scheme (runner
+// thread only) and is reused across deliveries.
+type floodItem struct {
+	node overlay.NodeID
+	hop  int
 }
 
 // deliverWalk forwards the ad along random walks from the given start

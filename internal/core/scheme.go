@@ -23,11 +23,15 @@ type Scheme struct {
 	// (mod RefreshPeriodSec), spreading refresh traffic evenly.
 	wheel [][]overlay.NodeID
 
-	// Runner-thread-only state for ad deliveries.
-	rng   *rand.Rand
-	acc   sim.SecAccumulator
-	stamp []uint32
-	epoch uint32
+	// Runner-thread-only state for ad deliveries. The buffers amortise the
+	// per-delivery queue and neighbour-list allocations across a run.
+	rng    *rand.Rand
+	acc    sim.SecAccumulator
+	stamp  []uint32
+	epoch  uint32
+	floodQ []floodItem
+	nbrBuf []overlay.NodeID
+	wlkBuf []overlay.NodeID
 
 	// scratch pools per-query working sets; see searchScratch.
 	scratch sync.Pool
@@ -82,7 +86,10 @@ func (s *Scheme) Attach(sys *sim.System) {
 
 	for v := 0; v < n; v++ {
 		ns := &s.nodes[v]
-		ns.cache = make(map[overlay.NodeID]cachedAd)
+		ns.cache = make(map[overlay.NodeID]cachedAd, min(s.cfg.CacheCapacity, 128))
+		ns.aggOn = !s.cfg.VariableFilters // unions need one filter geometry
+		ns.minSeen = maxClock
+		ns.dirty = true
 		for _, d := range sys.Docs(overlay.NodeID(v)) {
 			ns.classCnt[sys.U.ClassOf(d)]++
 		}
@@ -109,6 +116,15 @@ func (s *Scheme) Attach(sys *sim.System) {
 // publication.
 func (s *Scheme) publish(n overlay.NodeID) *adSnapshot {
 	ns := &s.nodes[n]
+	// Flat nodes see every content change as an event, so an unchanged
+	// dirty bit proves the rebuilt filter and topics would equal the
+	// published ones and publish would return nil — skip the rebuild.
+	// Hierarchical groups drift silently (leaf departures are not evented
+	// to the super peer) and must always reconcile.
+	if !s.cfg.Hierarchical && !ns.dirty {
+		return nil
+	}
+	ns.dirty = false
 	f := s.buildFilter(n)
 	topics := ns.topicsFromCounts()
 	if s.cfg.Hierarchical {
@@ -196,6 +212,7 @@ func (s *Scheme) publishedSnapshot(n overlay.NodeID) *adSnapshot {
 // the caches that hold the ad.
 func (s *Scheme) ContentChanged(t sim.Clock, n overlay.NodeID, d content.DocID, added bool) {
 	ns := &s.nodes[n]
+	ns.dirty = true
 	cls := s.sys.U.ClassOf(d)
 	if added {
 		ns.classCnt[cls]++

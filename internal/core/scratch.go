@@ -25,6 +25,8 @@ type searchScratch struct {
 	offers    []adOffer
 	seen      map[overlay.NodeID]int
 	targets   []hopTarget
+	srcs      []overlay.NodeID // phase-1 chain-scan matches
+	serve     []*adSnapshot    // per-target ads-reply assembly
 
 	// Epoch-stamped BFS state for hopNeighborhood: visited[v] holds the
 	// epoch of the last traversal that reached v, so the visited set
@@ -44,6 +46,8 @@ func (s *Scheme) getScratch() *searchScratch {
 	sc.cands = sc.cands[:0]
 	sc.offers = sc.offers[:0]
 	sc.targets = sc.targets[:0]
+	sc.srcs = sc.srcs[:0]
+	sc.serve = sc.serve[:0]
 	clear(sc.confirmed)
 	clear(sc.seen)
 	return sc

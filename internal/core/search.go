@@ -62,16 +62,24 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	ns := &s.nodes[p]
 	ns.mu.Lock()
 	if s.cfg.RefreshPeriodSec > 0 {
+		// The minSeen watermark bounds every entry's lastSeen from below,
+		// so the expiry sweep runs only when something can actually expire.
 		window := sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec) * 1000
-		ns.dropStale(t0 - window)
-	}
-	cands := sc.cands[:0]
-	for src, e := range ns.cache {
-		if e.snap.filter.ContainsAllProbes(sc.probes) {
-			cands = append(cands, candidate{src: src, avail: t0, rtt: 2 * sim.Clock(s.sys.Latency(p, src))})
+		if deadline := t0 - window; ns.minSeen < deadline {
+			ns.dropStale(deadline)
 		}
 	}
+	// Scan only the posting chains that can hold a probe match: the query's
+	// keyword classes, plus complement classes whose aggregate union passes
+	// (Bloom false positives live there). See adindex.go for why this
+	// yields exactly the candidates of a full cache scan.
+	srcs := ns.scanChains(s.scanClasses(ns, ev.Terms, sc.probes), sc.probes, sc.srcs[:0])
 	ns.mu.Unlock()
+	sc.srcs = srcs
+	cands := sc.cands[:0]
+	for _, src := range srcs {
+		cands = append(cands, candidate{src: src, avail: t0, rtt: 2 * sim.Clock(s.sys.Latency(p, src))})
+	}
 	sc.cands = cands
 
 	var bytes int64
@@ -199,39 +207,25 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 	for _, tg := range targets {
 		q := &s.nodes[tg.node]
 		q.mu.Lock()
-		payload := 0
-		count := 0
-		appendOffer := func(snap *adSnapshot) bool {
-			if count >= s.cfg.MaxAdsPerReply {
-				return false
-			}
-			if snap.src == p || !snap.topics.Intersects(interests) {
-				return true
-			}
-			if probes != nil && !snap.filter.ContainsAllProbes(probes) {
-				return true
-			}
-			payload += sim.AdHeaderBytes + snap.fullWire
-			count++
-			offers = append(offers, adOffer{snap: snap, avail: t + tg.pathLat + sim.Clock(s.sys.Latency(tg.node, p))})
-			return true
-		}
-		if q.published != nil {
-			appendOffer(q.published)
+		serve := sc.serve[:0]
+		if pub := q.published; pub != nil && s.cfg.MaxAdsPerReply > 0 &&
+			pub.src != p && pub.topics.Intersects(interests) &&
+			(probes == nil || pub.filter.ContainsAllProbes(probes)) {
+			serve = append(serve, pub)
 		}
 		// Serve cache entries in insertion order: under MaxAdsPerReply the
 		// subset offered must not depend on map iteration order, or two
-		// replays of one run diverge.
-		for _, src := range q.fifo {
-			e, ok := q.cache[src]
-			if !ok || e.lastSeen < staleBefore {
-				continue
-			}
-			if !appendOffer(e.snap) {
-				break
-			}
-		}
+		// replays of one run diverge. serveAds merges the interest-class
+		// posting chains by insertion sequence, which is that order.
+		serve = q.serveAds(serve, interests, staleBefore, probes, p, s.cfg.MaxAdsPerReply)
 		q.mu.Unlock()
+		sc.serve = serve
+		payload := 0
+		avail := t + tg.pathLat + sim.Clock(s.sys.Latency(tg.node, p))
+		for _, snap := range serve {
+			payload += sim.AdHeaderBytes + snap.fullWire
+			offers = append(offers, adOffer{snap: snap, avail: avail})
+		}
 		reply := sim.AdsReplyBytes(payload)
 		s.sys.Account(t, metrics.MAdsRequest, reply)
 		bytes += int64(reply)
@@ -327,12 +321,3 @@ func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]
 // minClock is the lowest representable virtual time; used to disable the
 // staleness filter when refreshing is off.
 const minClock = -1 << 62
-
-// termKeys converts query terms to the Bloom layer's integer key domain.
-func termKeys(terms []content.Keyword) []uint64 {
-	keys := make([]uint64, len(terms))
-	for i, t := range terms {
-		keys[i] = uint64(t)
-	}
-	return keys
-}

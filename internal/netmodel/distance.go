@@ -71,6 +71,47 @@ func (nw *Network) Distance(a, b PhysID) int {
 	}
 }
 
+// Loc is a resolved physical location: id's coordinates in the
+// transit-stub hierarchy plus its precomputed climb cost to the backbone.
+// Two Locs make pairwise latency an O(1) arithmetic (LocDistance) with no
+// per-call locate division or gateway BFS-table walk. Overlay graphs
+// resolve every host once at build time and share the vector across
+// clones.
+type Loc struct {
+	Domain int32 // stub-domain index, or -1 for transit nodes
+	Local  int32 // index within the stub domain, or transit node index
+	Parent int32 // parent transit node (the node itself for transit nodes)
+	Climb  int32 // ms from the node up to Parent (0 for transit nodes)
+}
+
+// Resolve returns id's location with the climb to its parent transit node
+// precomputed.
+func (nw *Network) Resolve(id PhysID) Loc {
+	l := nw.locate(id)
+	if l.transit {
+		return Loc{Domain: -1, Local: l.local, Parent: l.local}
+	}
+	d := &nw.domains[l.domain]
+	return Loc{Domain: l.domain, Local: l.local, Parent: d.parent, Climb: int32(nw.climb(d, l.local))}
+}
+
+// LocDistance is Distance over two resolved locations: on the cross-domain
+// path it costs two precomputed climbs and one backbone-matrix lookup;
+// within one stub domain it is a single hop-matrix read. It agrees with
+// Distance(a, b) on every node pair (see TestLocDistanceAgreesWithDistance).
+func (nw *Network) LocDistance(a, b Loc) int {
+	if a.Domain == b.Domain && a.Domain >= 0 {
+		// Same stub domain (including a == b: zero hops). The -1 transit
+		// pseudo-domain must not take this branch — transit pairs have no
+		// hop matrix — hence the a.Domain >= 0 guard.
+		return nw.domains[a.Domain].stubHops(a.Local, b.Local) * nw.cfg.LatIntraStub
+	}
+	// Every other pair climbs to the backbone: a transit node's climb is 0
+	// and its parent is itself, so the transit cases collapse into this
+	// expression (tdist of a node to itself is 0).
+	return int(a.Climb) + nw.transitDist(a.Parent, b.Parent) + int(b.Climb)
+}
+
 // DomainOf returns the stub-domain index of id, or -1 for transit nodes.
 // Exposed for locality-aware tests and diagnostics.
 func (nw *Network) DomainOf(id PhysID) int {

@@ -1,0 +1,54 @@
+package netmodel
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestLocDistanceAgreesWithDistance checks the precomputed-climb fast path
+// against the reference Distance over every pair class: transit–transit,
+// transit–stub, same-domain stub pairs, cross-domain stub pairs, and
+// self-distances.
+func TestLocDistanceAgreesWithDistance(t *testing.T) {
+	nw := Generate(SmallConfig())
+	n := nw.TotalNodes()
+	locs := make([]Loc, n)
+	for i := 0; i < n; i++ {
+		locs[i] = nw.Resolve(PhysID(i))
+	}
+
+	check := func(a, b PhysID) {
+		t.Helper()
+		want := nw.Distance(a, b)
+		got := nw.LocDistance(locs[a], locs[b])
+		if got != want {
+			t.Fatalf("LocDistance(%d, %d) = %d, Distance = %d", a, b, got, want)
+		}
+	}
+
+	// All transit pairs (including self) and each transit against a spread
+	// of stub nodes.
+	for a := 0; a < nw.NumTransit(); a++ {
+		for b := 0; b < nw.NumTransit(); b++ {
+			check(PhysID(a), PhysID(b))
+		}
+		for b := nw.NumTransit(); b < n; b += 97 {
+			check(PhysID(a), PhysID(b))
+			check(PhysID(b), PhysID(a))
+		}
+	}
+	// Same-domain pairs: consecutive stub IDs share a domain most of the
+	// time; walk a window inside the first domain explicitly.
+	per := nw.Config().StubPerDomain
+	for i := 0; i < per; i++ {
+		for j := 0; j < per; j++ {
+			check(PhysID(nw.NumTransit()+i), PhysID(nw.NumTransit()+j))
+		}
+	}
+	// Random pairs across the whole universe.
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 20000; i++ {
+		a, b := PhysID(rng.IntN(n)), PhysID(rng.IntN(n))
+		check(a, b)
+	}
+}

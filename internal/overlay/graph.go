@@ -48,6 +48,7 @@ type Graph struct {
 	kind   Kind
 	adj    [][]NodeID
 	hosts  []netmodel.PhysID
+	locs   []netmodel.Loc // hosts resolved once; immutable, shared by clones
 	alive  []bool
 	live   int
 	avgDeg float64
@@ -68,10 +69,15 @@ func newGraph(kind Kind, net *netmodel.Network, hosts []netmodel.PhysID, avgDeg 
 		panic("overlay: no hosts")
 	}
 	src := rand.NewPCG(uint64(len(hosts)), 0x6a09e667f3bcc908)
+	locs := make([]netmodel.Loc, len(hosts))
+	for i, h := range hosts {
+		locs[i] = net.Resolve(h)
+	}
 	return &Graph{
 		kind:   kind,
 		adj:    make([][]NodeID, len(hosts)),
 		hosts:  hosts,
+		locs:   locs,
 		alive:  make([]bool, len(hosts)),
 		avgDeg: avgDeg,
 		net:    net,
@@ -99,6 +105,7 @@ func (g *Graph) Clone() *Graph {
 		kind:   g.kind,
 		adj:    make([][]NodeID, len(g.adj)),
 		hosts:  g.hosts,
+		locs:   g.locs,
 		alive:  slices.Clone(g.alive),
 		live:   g.live,
 		avgDeg: g.avgDeg,
@@ -142,9 +149,10 @@ func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
 func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
 
 // Latency returns the physical shortest-path latency in milliseconds
-// between two overlay nodes.
+// between two overlay nodes. Hosts are resolved to climb vectors once at
+// construction, so each call is two array reads and one O(1) distance.
 func (g *Graph) Latency(a, b NodeID) int {
-	return g.net.Distance(g.hosts[a], g.hosts[b])
+	return g.net.LocDistance(g.locs[a], g.locs[b])
 }
 
 // TargetDegree returns the generator's average-degree target; Join uses it

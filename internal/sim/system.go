@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"asap/internal/content"
 	"asap/internal/metrics"
@@ -34,9 +35,70 @@ type System struct {
 	interests []content.ClassSet
 	docs      [][]content.DocID
 	docPos    []map[content.DocID]int32
-	kwIndex   []map[content.Keyword][]content.DocID
+	kwIdx     []nodeIndex
 
 	rng *rand.Rand // runner-side mutations (join wiring) only
+}
+
+// nodeIndex is one node's keyword → postings index. The base postings are
+// packed into System-wide arenas at construction (kws sorted ascending;
+// keyword k's segment is post[off[k]:off[k+1]], live up to cnt[k]), which
+// costs a handful of allocations per System instead of one map plus one
+// slice per (node, keyword). Removals shrink cnt in place; additions
+// refill freed base slots and otherwise overflow into extra, which stays
+// nil for the many nodes whose contents never grow mid-run.
+type nodeIndex struct {
+	kws   []content.Keyword
+	off   []int32
+	cnt   []int32
+	post  []content.DocID
+	extra map[content.Keyword][]content.DocID
+}
+
+// base returns the live base postings of kw (nil when kw is not indexed).
+func (ix *nodeIndex) base(kw content.Keyword) []content.DocID {
+	if k, ok := slices.BinarySearch(ix.kws, kw); ok {
+		return ix.post[ix.off[k] : ix.off[k]+ix.cnt[k]]
+	}
+	return nil
+}
+
+// add records that doc d contains kw.
+func (ix *nodeIndex) add(kw content.Keyword, d content.DocID) {
+	if k, ok := slices.BinarySearch(ix.kws, kw); ok {
+		if ix.cnt[k] < ix.off[k+1]-ix.off[k] {
+			ix.post[ix.off[k]+ix.cnt[k]] = d
+			ix.cnt[k]++
+			return
+		}
+	}
+	if ix.extra == nil {
+		ix.extra = make(map[content.Keyword][]content.DocID, 4)
+	}
+	ix.extra[kw] = append(ix.extra[kw], d)
+}
+
+// remove erases doc d from kw's postings.
+func (ix *nodeIndex) remove(kw content.Keyword, d content.DocID) {
+	if k, ok := slices.BinarySearch(ix.kws, kw); ok {
+		seg := ix.post[ix.off[k] : ix.off[k]+ix.cnt[k]]
+		for i, x := range seg {
+			if x == d {
+				seg[i] = seg[len(seg)-1]
+				ix.cnt[k]--
+				return
+			}
+		}
+	}
+	if post, ok := ix.extra[kw]; ok {
+		for i, x := range post {
+			if x == d {
+				post[i] = post[len(post)-1]
+				ix.extra[kw] = post[:len(post)-1]
+				return
+			}
+		}
+	}
 }
 
 // NewSystem builds the replay state for one (universe, trace, topology)
@@ -132,17 +194,70 @@ func newSystemState(u *content.Universe, peers []content.PeerID, initialLive, ho
 		interests:   make([]content.ClassSet, n),
 		docs:        make([][]content.DocID, n),
 		docPos:      make([]map[content.DocID]int32, n),
-		kwIndex:     make([]map[content.Keyword][]content.DocID, n),
+		kwIdx:       make([]nodeIndex, n),
 		rng:         rng,
 	}
+	// Pass 1: load contents and size the packed index arenas.
+	totalPost := 0
 	for i := 0; i < n; i++ {
 		peer := u.Peer(peers[i])
 		s.interests[i] = peer.Interests
 		s.docPos[i] = make(map[content.DocID]int32, len(peer.Docs))
-		s.kwIndex[i] = make(map[content.Keyword][]content.DocID)
+		docs := make([]content.DocID, 0, len(peer.Docs))
 		for _, d := range peer.Docs {
-			s.addDoc(overlay.NodeID(i), d)
+			if _, dup := s.docPos[i][d]; dup {
+				continue
+			}
+			s.docPos[i][d] = int32(len(docs))
+			docs = append(docs, d)
+			totalPost += len(u.Keywords(d))
 		}
+		s.docs[i] = docs
+	}
+	// Pass 2: build every node's index over shared arenas. Distinct-keyword
+	// counts come from sorting the node's keyword occurrences in a reused
+	// scratch buffer; cnt doubles as the fill cursor and ends at each
+	// segment's full length.
+	postArena := make([]content.DocID, totalPost)
+	kwArena := make([]content.Keyword, totalPost)
+	cntArena := make([]int32, totalPost)
+	offArena := make([]int32, totalPost+n)
+	var scratch []content.Keyword
+	postBase, kwBase, offBase := 0, 0, 0
+	for i := 0; i < n; i++ {
+		scratch = scratch[:0]
+		for _, d := range s.docs[i] {
+			scratch = append(scratch, u.Keywords(d)...)
+		}
+		slices.Sort(scratch)
+		nk := 0
+		off := offArena[offBase:]
+		off[0] = 0
+		for j := 0; j < len(scratch); {
+			kw := scratch[j]
+			run := j
+			for j < len(scratch) && scratch[j] == kw {
+				j++
+			}
+			kwArena[kwBase+nk] = kw
+			off[nk+1] = off[nk] + int32(j-run)
+			nk++
+		}
+		ix := &s.kwIdx[i]
+		ix.kws = kwArena[kwBase : kwBase+nk : kwBase+nk]
+		ix.off = off[: nk+1 : nk+1]
+		ix.cnt = cntArena[kwBase : kwBase+nk : kwBase+nk]
+		ix.post = postArena[postBase : postBase+len(scratch) : postBase+len(scratch)]
+		for _, d := range s.docs[i] {
+			for _, kw := range u.Keywords(d) {
+				k, _ := slices.BinarySearch(ix.kws, kw)
+				ix.post[ix.off[k]+ix.cnt[k]] = d
+				ix.cnt[k]++
+			}
+		}
+		kwBase += nk
+		offBase += nk + 1
+		postBase += len(scratch)
 	}
 	return s
 }
@@ -179,21 +294,32 @@ func (s *System) NodeMatches(n overlay.NodeID, terms []content.Keyword) bool {
 	if len(terms) == 0 {
 		return false
 	}
-	idx := s.kwIndex[n]
-	var shortest []content.DocID
+	ix := &s.kwIdx[n]
+	var sBase, sExtra []content.DocID
+	shortest := -1
 	for _, t := range terms {
-		p, ok := idx[t]
-		if !ok || len(p) == 0 {
+		base := ix.base(t)
+		var extra []content.DocID
+		if ix.extra != nil {
+			extra = ix.extra[t]
+		}
+		plen := len(base) + len(extra)
+		if plen == 0 {
 			return false
 		}
-		if shortest == nil || len(p) < len(shortest) {
-			shortest = p
+		if shortest < 0 || plen < shortest {
+			shortest, sBase, sExtra = plen, base, extra
 		}
 	}
 	if len(terms) == 1 {
 		return true
 	}
-	for _, d := range shortest {
+	for _, d := range sBase {
+		if s.U.DocMatches(d, terms) {
+			return true
+		}
+	}
+	for _, d := range sExtra {
 		if s.U.DocMatches(d, terms) {
 			return true
 		}
@@ -209,7 +335,7 @@ func (s *System) addDoc(n overlay.NodeID, d content.DocID) {
 	s.docPos[n][d] = int32(len(s.docs[n]))
 	s.docs[n] = append(s.docs[n], d)
 	for _, kw := range s.U.Keywords(d) {
-		s.kwIndex[n][kw] = append(s.kwIndex[n][kw], d)
+		s.kwIdx[n].add(kw, d)
 	}
 }
 
@@ -226,19 +352,7 @@ func (s *System) removeDoc(n overlay.NodeID, d content.DocID) {
 	s.docs[n] = docs[:last]
 	delete(s.docPos[n], d)
 	for _, kw := range s.U.Keywords(d) {
-		post := s.kwIndex[n][kw]
-		for i, x := range post {
-			if x == d {
-				post[i] = post[len(post)-1]
-				post = post[:len(post)-1]
-				break
-			}
-		}
-		if len(post) == 0 {
-			delete(s.kwIndex[n], kw)
-		} else {
-			s.kwIndex[n][kw] = post
-		}
+		s.kwIdx[n].remove(kw, d)
 	}
 }
 
