@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race bench-gate bench check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ fmt:
 race:
 	$(GO) test -race ./internal/sim ./internal/experiments
 
+# The fault-plane property suite under the race detector: a tiny matrix at
+# 2% message loss must be identical for 1 and N workers, and a zero-loss
+# plane must be byte-identical to no plane at all.
+loss-smoke:
+	$(GO) test -race -run 'TestLoss' ./internal/experiments
+
 # One iteration of the matrix benchmark as a compile-and-run smoke test
 # (-run '^$' skips the unit tests in the root package).
 bench-gate:
@@ -34,4 +40,4 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkRunMatrix -benchmem .
 	$(GO) run ./cmd/experiments -benchjson BENCH_matrix.json
 
-check: vet fmt test race bench-gate
+check: vet fmt test race loss-smoke bench-gate

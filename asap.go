@@ -6,6 +6,7 @@ import (
 	"asap/internal/content"
 	"asap/internal/core"
 	"asap/internal/experiments"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/overlay"
 	"asap/internal/trace"
@@ -49,6 +50,9 @@ type (
 	// ASAPConfig tunes the ASAP scheme (delivery algorithm, budgets,
 	// cache capacity, refresh period).
 	ASAPConfig = core.Config
+	// FaultsConfig parameterises the deterministic fault-injection plane
+	// (message loss rate, latency jitter, graceful-leave mode).
+	FaultsConfig = faults.Config
 )
 
 // SchemeNames lists the six schemes of the paper's comparison, in order:

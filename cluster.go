@@ -6,6 +6,7 @@ import (
 
 	"asap/internal/content"
 	"asap/internal/core"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/netmodel"
 	"asap/internal/sim"
@@ -31,7 +32,12 @@ type ClusterConfig struct {
 	ContentScale float64
 	// ASAP overrides the derived ASAP configuration when non-nil.
 	ASAP *ASAPConfig
-	Seed uint64
+	// Faults attaches a deterministic fault-injection plane when non-nil:
+	// lossy links, latency jitter and (optionally) graceful departures. A
+	// zero Faults.Seed inherits the cluster seed. Nil means the paper's
+	// reliable network.
+	Faults *FaultsConfig
+	Seed   uint64
 }
 
 // Cluster is a live ASAP system under manual control: a content universe,
@@ -97,6 +103,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	net := netmodel.Generate(netmodel.SmallConfig())
 	sys := sim.NewSystemForPeers(u, peers, cfg.Nodes, cfg.HorizonSec, cfg.Topology, net, cfg.Seed)
+	if cfg.Faults != nil {
+		fc := *cfg.Faults
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed
+		}
+		sys.SetFaults(faults.New(fc))
+	}
 
 	// The paper's delivery budget (M₀=3,000) is calibrated to a 10,000-node
 	// overlay; keep the coverage fraction constant. core.Config.Scaled
@@ -270,18 +283,27 @@ func (c *Cluster) Join(n NodeID) error {
 	ev := trace.Event{Time: c.nowMS, Kind: trace.Join, Node: n}
 	c.sys.ApplyEvent(&ev)
 	c.sch.NodeJoined(c.nowMS, n)
+	// The per-node load denominator changed mid-second; refresh it so this
+	// second's KB/node/s uses the population that actually carried the load.
+	c.sys.Load.SetLive(c.curSec, c.sys.G.LiveCount())
 	return nil
 }
 
-// Leave removes node n ungracefully: no goodbye messages, its ads decay
-// elsewhere via refresh expiry.
+// Leave removes node n. Departures are ungraceful (no goodbye messages,
+// its ads decay elsewhere via refresh expiry) unless the cluster's fault
+// plane enables graceful-leave mode, in which case the node tells its
+// neighbours goodbye before its links go down.
 func (c *Cluster) Leave(n NodeID) error {
 	if !c.sys.G.Alive(n) {
 		return fmt.Errorf("asap: node %d not live", n)
 	}
+	if lv, ok := c.sch.(sim.GracefulLeaver); ok {
+		lv.NodeLeaving(c.nowMS, n)
+	}
 	ev := trace.Event{Time: c.nowMS, Kind: trace.Leave, Node: n}
 	c.sys.ApplyEvent(&ev)
 	c.sch.NodeLeft(c.nowMS, n)
+	c.sys.Load.SetLive(c.curSec, c.sys.G.LiveCount())
 	return nil
 }
 

@@ -5,13 +5,15 @@
 //
 //	experiments [-scale full|small|tiny] [-figure all|2|3|...|10|claims]
 //	            [-schemes csv] [-topos csv] [-workers n] [-matrixworkers n]
-//	            [-seed n] [-quiet] [-benchjson path]
+//	            [-seed n] [-loss rate] [-quiet] [-benchjson path]
 //
 // Examples:
 //
 //	experiments -scale small -figure all     # every figure, 1/10 scale
 //	experiments -scale full -figure 4        # paper-scale Fig. 4 (slow)
 //	experiments -scale small -figure claims  # headline-claim checks
+//	experiments -scale small -loss 0.02      # the matrix on a 2%-lossy network
+//	experiments -scale tiny -figure loss     # loss sweep: 0/1/2/5% message loss
 //	experiments -benchjson BENCH_matrix.json # perf record: baseline vs parallel
 package main
 
@@ -36,10 +38,15 @@ func main() {
 		matrixW   = flag.Int("matrixworkers", 0, "scheme×topology matrix workers (0 = GOMAXPROCS)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		seedCount = flag.Int("seeds", 3, "seeds for -figure seeds (robustness sweep)")
+		loss      = flag.Float64("loss", 0, "message loss rate in [0,1); 0 is the paper's reliable network")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		benchJSON = flag.String("benchjson", "", "write a matrix perf record (baseline vs parallel) to this path and exit")
 	)
 	flag.Parse()
+	if *loss < 0 || *loss >= 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -loss %v out of [0,1)\n", *loss)
+		os.Exit(1)
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*scaleName, *seed, *matrixW, *benchJSON, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -54,13 +61,20 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scaleName, *figure, *schemes, *topos, *workers, *matrixW, *seed, *quiet); err != nil {
+	if *figure == "loss" {
+		if err := runLossSweep(*scaleName, *schemes, *topos, *seed, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*scaleName, *figure, *schemes, *topos, *workers, *matrixW, *seed, *loss, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, quiet bool) error {
+func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, loss float64, quiet bool) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
@@ -68,6 +82,7 @@ func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers in
 	sc.Workers = workers
 	sc.MatrixWorkers = matrixWorkers
 	sc.Seed = seed
+	sc.LossRate = loss
 
 	progress := func(format string, args ...any) {
 		if !quiet {
@@ -156,7 +171,7 @@ func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers in
 	case "claims":
 		out(experiments.FormatClaims(experiments.CheckClaims(m)))
 	default:
-		return fmt.Errorf("unknown figure %q (all, 2-10, claims, seeds)", figure)
+		return fmt.Errorf("unknown figure %q (all, 2-10, claims, seeds, loss)", figure)
 	}
 	progress("done in %v", time.Since(start).Round(time.Second))
 	return nil
@@ -207,6 +222,39 @@ func runSeeds(scaleName, schemeCSV, topoCSV string, workers, nSeeds int, quiet b
 		}
 	}
 	fmt.Println(experiments.FormatSeedSweeps(sweeps))
+	return nil
+}
+
+// runLossSweep replays the selected schemes on one topology under a
+// ladder of message-loss rates, showing how each degrades off the paper's
+// reliable-network assumption.
+func runLossSweep(scaleName, schemeCSV, topoCSV string, seed uint64, quiet bool) error {
+	sc, err := experiments.ByName(scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = seed
+	var schemeList []string
+	if schemeCSV != "" {
+		for _, s := range strings.Split(schemeCSV, ",") {
+			schemeList = append(schemeList, strings.TrimSpace(s))
+		}
+	}
+	topo := overlay.Crawled
+	if topoCSV != "" {
+		if topo, err = kindByName(strings.TrimSpace(topoCSV)); err != nil {
+			return err
+		}
+	}
+	rates := []float64{0, 0.01, 0.02, 0.05}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "loss sweep on %s over rates %v…\n", topo, rates)
+	}
+	sw, err := experiments.RunLossSweep(sc, schemeList, topo, rates)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatLossSweep(sw))
 	return nil
 }
 

@@ -63,6 +63,13 @@ func (c *Counting) removeSum(sum uint64) {
 		if c.counts[pos] == 0 {
 			return true
 		}
+		if c.counts[pos] == ^uint16(0) {
+			// Saturation is sticky: a saturated counter lost track of how
+			// many keys map here, so decrementing it could zero a bit some
+			// other key still needs. The bit stays set forever — a false
+			// positive, never a false negative (mirrors addSum).
+			return true
+		}
 		c.counts[pos]--
 		if c.counts[pos] == 0 {
 			c.flat.ClearBit(pos)

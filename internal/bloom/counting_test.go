@@ -143,3 +143,35 @@ func TestCountingCountAccess(t *testing.T) {
 		t.Errorf("sum of counters = %d, want k=2", total)
 	}
 }
+
+func TestCountingSaturationIsSticky(t *testing.T) {
+	// Saturate a counter: Add stops counting at 65535, so after 65536 adds
+	// the filter has lost track of the true multiplicity. From then on the
+	// counter must never decrement — one more Remove than increments were
+	// recorded would clear a bit whose key is still (logically) present,
+	// turning a false positive guarantee into a false negative.
+	c := NewCountingDefault()
+	const key = uint64(0xfeedbeef)
+	const adds = 1 << 16 // one past saturation
+	for i := 0; i < adds; i++ {
+		c.AddKey(key)
+	}
+	for i := 0; i < adds-1; i++ {
+		c.RemoveKey(key)
+	}
+	// Logically the key was added once more than removed.
+	if !c.ContainsKey(key) {
+		t.Fatal("key vanished: a saturated counter was decremented to zero")
+	}
+	// The saturated positions stay pinned at the ceiling.
+	sawMax := false
+	for pos := uint32(0); pos < uint32(c.Bits()); pos++ {
+		if c.Count(pos) == ^uint16(0) {
+			sawMax = true
+			break
+		}
+	}
+	if !sawMax {
+		t.Error("no counter remained saturated after removals")
+	}
+}

@@ -243,7 +243,7 @@ func (ns *nodeState) serveAds(buf []*adSnapshot, interests content.ClassSet, sta
 // union passes all probes. Keywords are class-scoped (ClassOfKeyword is
 // exact), so an ad that truly contains every query term carries at least
 // one query class among its topics. An ad that merely Bloom-false-
-//-positives the probes has a filter that is a subset of each of its topic
+// -positives the probes has a filter that is a subset of each of its topic
 // unions, so those unions pass the probes too and its chains are scanned —
 // the candidate set is exactly the linear scan's, false positives
 // included. Without aggregates (variable filter geometries, or an empty

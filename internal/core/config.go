@@ -86,6 +86,16 @@ type Config struct {
 	// leaves route searches through their super peer, and only super
 	// peers cache ads.
 	Hierarchical bool
+	// RetryAttempts is how many times a search contact (confirmation, ads
+	// request) is attempted before the requester gives up, when a fault
+	// plane can drop messages; 0 and 1 both mean a single attempt. On a
+	// reliable network (no plane, or loss rate 0) exactly one attempt is
+	// made regardless, which keeps the zero-loss replay byte-identical to
+	// the paper's model.
+	RetryAttempts int
+	// RetryTimeoutMS is the extra wait beyond the contact's round-trip
+	// time before a lost request or reply is retried.
+	RetryTimeoutMS int
 	// VariableFilters switches content filters from the paper's chosen
 	// fixed geometry (m = 11,542) to the variable-length alternative it
 	// describes: each node picks the smallest pool length covering its
@@ -112,6 +122,8 @@ func DefaultConfig(d DeliveryKind) Config {
 		RefreshPeriodSec: 300,
 		StaleFactor:      12,
 		MaxAdsPerReply:   64,
+		RetryAttempts:    2,
+		RetryTimeoutMS:   200,
 		Seed:             1,
 	}
 }
@@ -158,6 +170,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: StaleFactor %d < 1 with refreshing enabled", c.StaleFactor)
 	case c.MaxAdsPerReply < 1:
 		return fmt.Errorf("core: MaxAdsPerReply %d < 1", c.MaxAdsPerReply)
+	case c.RetryAttempts < 0:
+		return fmt.Errorf("core: RetryAttempts %d < 0", c.RetryAttempts)
+	case c.RetryTimeoutMS < 0:
+		return fmt.Errorf("core: RetryTimeoutMS %d < 0", c.RetryTimeoutMS)
 	}
 	return nil
 }

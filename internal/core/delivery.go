@@ -2,15 +2,31 @@ package core
 
 import (
 	"asap/internal/content"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/overlay"
 	"asap/internal/sim"
 )
 
+// nextSeq increments a local per-delivery message counter. Together with
+// the delivery key it names each forwarded copy uniquely, so the fault
+// plane's drop decisions replay identically run over run.
+func nextSeq(p *uint32) uint32 {
+	v := *p
+	*p++
+	return v
+}
+
 // deliver pushes one ad through the overlay under the configured
 // forwarding algorithm, caching it at every reached node whose interests
 // intersect targeting (the delivery topic set; normally the ad's own
 // topics, widened for patches). Deliveries run on the runner thread only.
+//
+// Under a fault plane, forwarded copies can be lost: a lost flood copy
+// prunes that branch (the node may still be reached another way), a lost
+// walk copy kills the walker. Senders pay for lost copies — the bytes are
+// on the wire either way — so ad coverage degrades under loss while ad
+// traffic does not.
 func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet) {
 	msgBytes := snap.wireBytes(kind)
 	var class metrics.MsgClass
@@ -22,6 +38,11 @@ func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting c
 	default:
 		class = metrics.MAdRefresh
 	}
+	// One drop stream per delivery: (time, source) names the delivery,
+	// folded with (version, kind) to separate a refresh from the full ad
+	// that replaced it within the same second.
+	dkey := faults.Fold(faults.Key(int64(t), snap.src), uint64(snap.version)<<2|uint64(kind))
+	var dseq uint32
 
 	// Warm-up deliveries (t < 0) invest the full per-topic budget to seed
 	// the caches; everything published mid-run is an update of already-
@@ -32,12 +53,12 @@ func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting c
 	}
 	switch s.cfg.Delivery {
 	case FLD:
-		s.deliverFlood(t, snap, kind, targeting, msgBytes)
+		s.deliverFlood(t, snap, kind, targeting, msgBytes, class, dkey, &dseq)
 	case RW:
-		s.deliverWalk(t, snap, kind, targeting, msgBytes, s.walkStarts(snap.src, s.cfg.Walkers), budget)
+		s.deliverWalk(t, snap, kind, targeting, msgBytes, s.walkStarts(snap.src, s.cfg.Walkers), budget, class, dkey, &dseq)
 	case GSAKind:
 		seeds := s.liveNeighbors(snap.src)
-		s.deliverWalk(t, snap, kind, targeting, msgBytes, seeds, budget)
+		s.deliverWalk(t, snap, kind, targeting, msgBytes, seeds, budget, class, dkey, &dseq)
 	}
 	s.acc.Flush(s.sys, class)
 }
@@ -74,8 +95,10 @@ func (s *Scheme) liveNeighbors(n overlay.NodeID) []overlay.NodeID {
 }
 
 // deliverFlood floods the ad with TTL FloodTTL and duplicate suppression;
-// every reached node applies it once.
-func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet, msgBytes int) {
+// every reached node applies it once. A dropped copy leaves its receiver
+// unstamped, so a later surviving copy (from another branch) still reaches
+// it.
+func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet, msgBytes int, class metrics.MsgClass, dkey uint64, dseq *uint32) {
 	s.epoch++
 	if s.epoch == 0 {
 		for i := range s.stamp {
@@ -88,7 +111,7 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 	for i := 0; i < len(queue); i++ {
 		it := queue[i]
 		if it.node != snap.src {
-			s.applyAd(t, it.node, snap, kind, targeting)
+			s.applyAd(t, it.node, snap, kind, targeting, dkey, dseq)
 		}
 		if it.hop >= s.cfg.FloodTTL {
 			continue
@@ -98,6 +121,9 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 				continue
 			}
 			s.acc.Add(t, msgBytes) // the copy is sent even to nodes that saw it
+			if !s.sys.Arrives(class, it.node, nb, dkey, nextSeq(dseq)) {
+				continue // copy lost; nb may still get one via another edge
+			}
 			if s.stamp[nb] == s.epoch {
 				continue
 			}
@@ -118,8 +144,10 @@ type floodItem struct {
 
 // deliverWalk forwards the ad along random walks from the given start
 // nodes under a total message budget split evenly across walkers. Every
-// visited node applies the ad (re-applications only bump freshness).
-func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet, msgBytes int, starts []overlay.NodeID, budget int) {
+// visited node applies the ad (re-applications only bump freshness). A
+// walker whose forwarded copy is lost dies on the spot — nobody detects
+// the loss, so its remaining budget is simply wasted.
+func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet, msgBytes int, starts []overlay.NodeID, budget int, class metrics.MsgClass, dkey uint64, dseq *uint32) {
 	if len(starts) == 0 {
 		return
 	}
@@ -130,7 +158,10 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 	for _, start := range starts {
 		cur, prev := start, snap.src
 		s.acc.Add(t, msgBytes) // source → start
-		s.applyAd(t, cur, snap, kind, targeting)
+		if !s.sys.Arrives(class, snap.src, cur, dkey, nextSeq(dseq)) {
+			continue // seed copy lost: this walker never starts
+		}
+		s.applyAd(t, cur, snap, kind, targeting, dkey, dseq)
 		for step := 1; step < perWalker; step++ {
 			next := s.pickNextHop(cur, prev, targeting)
 			if next < 0 {
@@ -138,8 +169,11 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 			}
 			prev, cur = cur, next
 			s.acc.Add(t, msgBytes)
+			if !s.sys.Arrives(class, prev, cur, dkey, nextSeq(dseq)) {
+				break // walker lost in transit
+			}
 			if cur != snap.src {
-				s.applyAd(t, cur, snap, kind, targeting)
+				s.applyAd(t, cur, snap, kind, targeting, dkey, dseq)
 			}
 		}
 	}
@@ -224,8 +258,10 @@ func (s *Scheme) pickLiveNeighbor(cur, prev overlay.NodeID) overlay.NodeID {
 
 // applyAd lets node v react to an arriving ad: cache it when interesting,
 // and resolve version gaps by fetching the source's current full ad
-// directly (a control request plus a full-ad reply).
-func (s *Scheme) applyAd(t sim.Clock, v overlay.NodeID, snap *adSnapshot, kind adKind, targeting content.ClassSet) {
+// directly (a control request plus a full-ad reply). Either leg of that
+// fetch can be lost; the gap then persists until the next ad (or the next
+// gap) retriggers it.
+func (s *Scheme) applyAd(t sim.Clock, v overlay.NodeID, snap *adSnapshot, kind adKind, targeting content.ClassSet, dkey uint64, dseq *uint32) {
 	if !s.cacheEligible(v) || !s.groupInterests(v).Intersects(targeting) {
 		return
 	}
@@ -243,7 +279,13 @@ func (s *Scheme) applyAd(t sim.Clock, v overlay.NodeID, snap *adSnapshot, kind a
 		return
 	}
 	s.sys.Account(t, metrics.MControl, sim.HeaderBytes)
+	if !s.sys.Arrives(metrics.MControl, v, snap.src, dkey, nextSeq(dseq)) {
+		return // fetch request lost: the reply is never sent
+	}
 	s.sys.Account(t, metrics.MAdFull, cur.wireBytes(adFull))
+	if !s.sys.Arrives(metrics.MAdFull, snap.src, v, dkey, nextSeq(dseq)) {
+		return // reply lost: v keeps its stale copy
+	}
 	ns.mu.Lock()
 	ns.store(cur, adFull, t, s.cfg.CacheCapacity)
 	ns.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 
 	"asap/internal/bloom"
 	"asap/internal/content"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/overlay"
 	"asap/internal/sim"
@@ -239,8 +240,37 @@ func (s *Scheme) NodeJoined(t sim.Clock, n overlay.NodeID) {
 		s.deliver(t, snap, adFull, snap.topics)
 	}
 	sc := s.getScratch()
+	// The join pull gets its own drop stream, folded apart from any query
+	// the same node issues in the same millisecond.
+	sc.fkey = faults.Fold(faults.Key(int64(t), n), 1)
 	s.adsRequest(t, n, sc, nil)
 	s.putScratch(sc)
+}
+
+// NodeLeaving implements sim.GracefulLeaver: when the fault plane models
+// graceful departures, a leaving node tells its neighbours goodbye while
+// its links still exist, and every neighbour the goodbye reaches evicts
+// the leaver's ad immediately instead of waiting for a failed
+// confirmation or staleness expiry. Without a graceful-leave plane this is
+// a no-op — departures stay ungraceful, the paper's churn model.
+func (s *Scheme) NodeLeaving(t sim.Clock, n overlay.NodeID) {
+	if !s.sys.Faults().GracefulLeave() || s.repr(n) != n {
+		return
+	}
+	gkey := faults.Fold(faults.Key(int64(t), n), 2)
+	var gseq uint32
+	for _, nb := range s.sys.G.Neighbors(n) {
+		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
+			continue
+		}
+		if !s.sys.Deliver(t, metrics.MControl, sim.HeaderBytes, n, nb, gkey, nextSeq(&gseq)) {
+			continue // goodbye lost: nb finds out the hard way
+		}
+		ns := &s.nodes[nb]
+		ns.mu.Lock()
+		ns.drop(n)
+		ns.mu.Unlock()
+	}
 }
 
 // NodeLeft implements sim.Scheme: departures are ungraceful; the node's
@@ -284,6 +314,16 @@ func (s *Scheme) Tick(t sim.Clock) {
 			s.deliver(t, snap, adRefresh, snap.topics)
 		}
 	}
+}
+
+// HasCachedAd reports whether node p currently caches an ad published by
+// src (diagnostics).
+func (s *Scheme) HasCachedAd(p, src overlay.NodeID) bool {
+	ns := &s.nodes[p]
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	_, ok := ns.cache[src]
+	return ok
 }
 
 // CacheSize returns node n's current ads-cache population (diagnostics).

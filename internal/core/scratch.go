@@ -36,6 +36,20 @@ type searchScratch struct {
 	epoch    uint32
 	frontier []overlay.NodeID
 	next     []overlay.NodeID
+
+	// Fault-plane message stream of this query: fkey derives from the
+	// query's (time, node) identity, fseq numbers its messages. Together
+	// they make every drop/jitter decision a function of the query alone,
+	// independent of worker scheduling.
+	fkey uint64
+	fseq uint32
+}
+
+// nextSeq returns the query's next message sequence number.
+func (sc *searchScratch) nextSeq() uint32 {
+	s := sc.fseq
+	sc.fseq++
+	return s
 }
 
 // getScratch borrows a reset scratch from the pool.
@@ -48,6 +62,8 @@ func (s *Scheme) getScratch() *searchScratch {
 	sc.targets = sc.targets[:0]
 	sc.srcs = sc.srcs[:0]
 	sc.serve = sc.serve[:0]
+	sc.fkey = 0
+	sc.fseq = 0
 	clear(sc.confirmed)
 	clear(sc.seen)
 	return sc

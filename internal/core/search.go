@@ -6,6 +6,7 @@ import (
 
 	"asap/internal/bloom"
 	"asap/internal/content"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/overlay"
 	"asap/internal/sim"
@@ -21,6 +22,18 @@ type candidate struct {
 	rtt   sim.Clock
 }
 
+// contactAttempts returns how many times one search contact is tried.
+// Retries exist only to survive a lossy network: without an active fault
+// plane every contact is attempted exactly once, whatever RetryAttempts
+// says, which keeps the zero-loss replay byte-identical to the paper's
+// reliable model.
+func (s *Scheme) contactAttempts() int {
+	if !s.sys.Faults().Active() {
+		return 1
+	}
+	return max(1, s.cfg.RetryAttempts)
+}
+
 // Search implements sim.Scheme: the ASAP_search algorithm of Table I.
 // Phase 1 scans the local ads cache and confirms the best matches with the
 // ad sources (one-hop search). If that yields nothing, phase 2 requests
@@ -34,6 +47,7 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	t0 := ev.Time
 	sc := s.getScratch()
 	defer s.putScratch(sc)
+	sc.fkey = faults.Key(ev.Time, ev.Node)
 	for _, term := range ev.Terms {
 		sc.keys = append(sc.keys, uint64(term))
 	}
@@ -41,10 +55,13 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 
 	// Hierarchical mode: a leaf routes its request through its super peer
 	// (one extra round trip and two extra messages); the search proper
-	// then runs at the super peer.
+	// then runs at the super peer. The uplink request is retried like any
+	// other contact; the downlink reply's fate is drawn now and applied at
+	// the success returns (the whole search's bytes are spent either way).
 	uplinkMS := sim.Clock(0)
 	var uplinkBytes int64
 	extraHops := 0
+	downOK := true
 	if rp := s.repr(p); rp != p {
 		if rp < 0 {
 			return metrics.SearchResult{} // detached leaf: nowhere to route
@@ -52,8 +69,26 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 		uplinkMS = sim.Clock(s.sys.Latency(p, rp))
 		up := sim.QueryBytes(len(ev.Terms))
 		down := sim.QueryHitBytes()
-		s.sys.Account(t0, metrics.MConfirm, up+down)
-		uplinkBytes = int64(up + down)
+		attempts := s.contactAttempts()
+		routed := false
+		for a := 0; a < attempts; a++ {
+			if a > 0 {
+				s.sys.Load.CountRetry()
+				t0 += 2*uplinkMS + sim.Clock(s.cfg.RetryTimeoutMS)
+			}
+			uplinkBytes += int64(up)
+			if s.sys.Deliver(t0, metrics.MConfirm, up, p, rp, sc.fkey, sc.nextSeq()) {
+				routed = true
+				break
+			}
+		}
+		if !routed {
+			s.sys.Load.CountTimeout()
+			return metrics.SearchResult{Bytes: uplinkBytes}
+		}
+		s.sys.Account(t0, metrics.MConfirm, down)
+		uplinkBytes += int64(down)
+		downOK = s.sys.Arrives(metrics.MConfirm, rp, p, sc.fkey, sc.nextSeq())
 		extraHops = 1
 		p = rp
 		t0 += uplinkMS
@@ -84,12 +119,16 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 
 	var bytes int64
 	confirmed := sc.confirmed
-	hits, resp, b := s.confirmRound(p, ev.Terms, cands, confirmed)
+	hits, resp, b := s.confirmRound(p, ev.Terms, cands, confirmed, sc)
 	bytes += b + uplinkBytes
 	// Table I: phase 2 runs when the cache yielded nothing, or when "more
 	// responses [are] needed" than phase 1 confirmed.
 	if hits >= s.cfg.MinResults || s.cfg.AdsRequestHops == 0 {
 		if hits > 0 {
+			if !downOK {
+				s.sys.Load.CountTimeout()
+				return metrics.SearchResult{Bytes: bytes}
+			}
 			return metrics.SearchResult{Success: true, ResponseMS: resp - t0 + 2*uplinkMS, Bytes: bytes, Hops: 1 + extraHops, Hits: hits}
 		}
 		return metrics.SearchResult{Bytes: bytes}
@@ -104,9 +143,15 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 			fresh = append(fresh, c)
 		}
 	}
-	hits2, resp2, b := s.confirmRound(p, ev.Terms, fresh, confirmed)
+	hits2, resp2, b := s.confirmRound(p, ev.Terms, fresh, confirmed, sc)
 	bytes += b
 	if hits+hits2 == 0 {
+		return metrics.SearchResult{Bytes: bytes}
+	}
+	if !downOK {
+		// The super peer found results but its reply to the leaf was lost:
+		// the requester observes a failed (timed-out) search.
+		s.sys.Load.CountTimeout()
 		return metrics.SearchResult{Bytes: bytes}
 	}
 	// The first answer wins: a phase-1 hit keeps its one-hop latency even
@@ -127,7 +172,15 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 // against the source's real contents, so Bloom false positives,
 // out-of-date filters and departed sources all surface here. All
 // candidates tried are recorded in confirmed.
-func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands []candidate, confirmed map[overlay.NodeID]bool) (int, sim.Clock, int64) {
+//
+// Under an active fault plane each contact gets RetryAttempts tries — a
+// lost request, a dead source, or a lost reply all look the same to the
+// requester: silence until the timeout. A contact that stays silent
+// through its last attempt has its ad evicted from the cache, the
+// on-demand liveness cleanup of the reliable dead-source path generalised
+// to lossy links (a live source whose ad was evicted re-advertises within
+// a refresh period).
+func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands []candidate, confirmed map[overlay.NodeID]bool, sc *searchScratch) (int, sim.Clock, int64) {
 	if len(cands) == 0 {
 		return 0, 0, 0
 	}
@@ -143,32 +196,54 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 		cands = cands[:s.cfg.MaxConfirms]
 	}
 
+	attempts := s.contactAttempts()
 	var bytes int64
 	best := sim.Clock(-1)
 	positives := 0
 	for _, c := range cands {
 		confirmed[c.src] = true
 		cb := sim.ConfirmBytes(len(terms))
-		s.sys.Account(c.avail, metrics.MConfirm, cb)
-		bytes += int64(cb)
-		if !s.sys.G.Alive(c.src) {
-			// Source departed: the confirmation times out. Drop the dead
-			// ad so later searches stop paying for it — on-demand liveness
-			// detection complementing refresh-based expiry.
+		sendAt := c.avail
+		answered := false
+		var reply sim.Clock
+		for a := 0; a < attempts; a++ {
+			if a > 0 {
+				s.sys.Load.CountRetry()
+				sendAt += c.rtt + sim.Clock(s.cfg.RetryTimeoutMS)
+			}
+			bytes += int64(cb)
+			if !s.sys.Deliver(sendAt, metrics.MConfirm, cb, p, c.src, sc.fkey, sc.nextSeq()) {
+				continue // request lost in transit
+			}
+			if !s.sys.G.Alive(c.src) {
+				continue // source departed: no reply will ever come
+			}
+			rb := sim.ConfirmReplyBytes()
+			bytes += int64(rb)
+			rseq := sc.nextSeq()
+			if !s.sys.Deliver(sendAt, metrics.MConfirm, rb, c.src, p, sc.fkey, rseq) {
+				continue // reply lost: same silence as a dead source
+			}
+			answered = true
+			reply = sendAt + c.rtt + s.sys.JitterMS(metrics.MConfirm, c.src, p, sc.fkey, rseq)
+			break
+		}
+		if !answered {
+			// Every attempt timed out. Drop the ad so later searches stop
+			// paying for this contact — on-demand liveness detection
+			// complementing refresh-based expiry.
+			s.sys.Load.CountTimeout()
 			ns := &s.nodes[p]
 			ns.mu.Lock()
 			ns.drop(c.src)
 			ns.mu.Unlock()
 			continue
 		}
-		rb := sim.ConfirmReplyBytes()
-		s.sys.Account(c.avail, metrics.MConfirm, rb)
-		bytes += int64(rb)
 		if !s.groupMatches(c.src, terms) {
 			continue // false positive or stale index: negative reply
 		}
 		positives++
-		if reply := c.avail + c.rtt; best < 0 || reply < best {
+		if best < 0 || reply < best {
 			best = reply
 		}
 	}
@@ -190,45 +265,76 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 // interest-overlapping cache; the requester's subsequent lookup over the
 // replied ads is unchanged. Neighbours never serve entries their own
 // staleness window has expired.
+//
+// Every reached peer replies, even with an empty ad list, so on a lossy
+// network "not one reply arrived" is the requester's retry signal: the
+// whole request flood is re-issued (with fresh per-copy drop decisions)
+// up to RetryAttempts times before the phase is abandoned.
 func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, probes []bloom.Probe) ([]candidate, int64) {
-	targets, reqMsgs := s.hopNeighborhood(p, s.cfg.AdsRequestHops, sc)
-	if len(targets) == 0 {
-		return nil, 0
-	}
-	bytes := int64(reqMsgs) * int64(sim.AdsRequestBytes())
-	s.sys.Account(t, metrics.MAdsRequest, int(bytes))
-
-	staleBefore := sim.Clock(minClock)
-	if s.cfg.RefreshPeriodSec > 0 {
-		staleBefore = t - sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec)*1000
-	}
 	interests := s.groupInterests(p)
+	attempts := s.contactAttempts()
+	var bytes int64
 	offers := sc.offers[:0]
-	for _, tg := range targets {
-		q := &s.nodes[tg.node]
-		q.mu.Lock()
-		serve := sc.serve[:0]
-		if pub := q.published; pub != nil && s.cfg.MaxAdsPerReply > 0 &&
-			pub.src != p && pub.topics.Intersects(interests) &&
-			(probes == nil || pub.filter.ContainsAllProbes(probes)) {
-			serve = append(serve, pub)
+	sent := false
+	arrived := false
+	tA := t
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			s.sys.Load.CountRetry()
+			tA += sim.Clock(s.cfg.RetryTimeoutMS)
 		}
-		// Serve cache entries in insertion order: under MaxAdsPerReply the
-		// subset offered must not depend on map iteration order, or two
-		// replays of one run diverge. serveAds merges the interest-class
-		// posting chains by insertion sequence, which is that order.
-		serve = q.serveAds(serve, interests, staleBefore, probes, p, s.cfg.MaxAdsPerReply)
-		q.mu.Unlock()
-		sc.serve = serve
-		payload := 0
-		avail := t + tg.pathLat + sim.Clock(s.sys.Latency(tg.node, p))
-		for _, snap := range serve {
-			payload += sim.AdHeaderBytes + snap.fullWire
-			offers = append(offers, adOffer{snap: snap, avail: avail})
+		targets, reqMsgs := s.hopNeighborhood(p, s.cfg.AdsRequestHops, sc)
+		if reqMsgs == 0 {
+			break // no live peers to ask; nothing was (or will be) sent
 		}
-		reply := sim.AdsReplyBytes(payload)
-		s.sys.Account(t, metrics.MAdsRequest, reply)
-		bytes += int64(reply)
+		sent = true
+		reqBytes := int64(reqMsgs) * int64(sim.AdsRequestBytes())
+		s.sys.Account(tA, metrics.MAdsRequest, int(reqBytes))
+		bytes += reqBytes
+
+		staleBefore := sim.Clock(minClock)
+		if s.cfg.RefreshPeriodSec > 0 {
+			staleBefore = tA - sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec)*1000
+		}
+		for _, tg := range targets {
+			q := &s.nodes[tg.node]
+			q.mu.Lock()
+			serve := sc.serve[:0]
+			if pub := q.published; pub != nil && s.cfg.MaxAdsPerReply > 0 &&
+				pub.src != p && pub.topics.Intersects(interests) &&
+				(probes == nil || pub.filter.ContainsAllProbes(probes)) {
+				serve = append(serve, pub)
+			}
+			// Serve cache entries in insertion order: under MaxAdsPerReply the
+			// subset offered must not depend on map iteration order, or two
+			// replays of one run diverge. serveAds merges the interest-class
+			// posting chains by insertion sequence, which is that order.
+			serve = q.serveAds(serve, interests, staleBefore, probes, p, s.cfg.MaxAdsPerReply)
+			q.mu.Unlock()
+			sc.serve = serve
+			payload := 0
+			for _, snap := range serve {
+				payload += sim.AdHeaderBytes + snap.fullWire
+			}
+			reply := sim.AdsReplyBytes(payload)
+			bytes += int64(reply)
+			rseq := sc.nextSeq()
+			if !s.sys.Deliver(tA, metrics.MAdsRequest, reply, tg.node, p, sc.fkey, rseq) {
+				continue // the whole reply is one message; it was lost
+			}
+			arrived = true
+			avail := tA + tg.pathLat + sim.Clock(s.sys.Latency(tg.node, p)) +
+				s.sys.JitterMS(metrics.MAdsRequest, tg.node, p, sc.fkey, rseq)
+			for _, snap := range serve {
+				offers = append(offers, adOffer{snap: snap, avail: avail})
+			}
+		}
+		if arrived {
+			break // at least one peer answered (possibly with zero ads)
+		}
+	}
+	if sent && !arrived {
+		s.sys.Load.CountTimeout()
 	}
 	sc.offers = offers
 
@@ -267,11 +373,14 @@ type hopTarget struct {
 	pathLat sim.Clock
 }
 
-// hopNeighborhood returns the live peers within h hops of p (excluding p)
-// and the number of request messages a duplicate-suppressed flood to that
-// radius sends. The returned slice is backed by sc; the BFS tracks
-// visited nodes in sc's epoch-stamped slices, so the multi-hop case does
-// no per-query map work.
+// hopNeighborhood returns the peers an ads request flooded to radius h
+// from p actually reaches (excluding p) and the number of request
+// messages the duplicate-suppressed flood sends. Under a fault plane a
+// request copy can be lost — it still counts as sent, but the node behind
+// it is only reached via surviving copies, so drops prune whole branches
+// of the multi-hop case. The returned slice is backed by sc; the BFS
+// tracks visited nodes in sc's epoch-stamped slices, so the multi-hop
+// case does no per-query map work.
 func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]hopTarget, int) {
 	if h <= 0 {
 		return nil, 0
@@ -279,13 +388,18 @@ func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]
 	out := sc.targets[:0]
 	if h == 1 {
 		// The common case: direct neighbours, one request each.
+		msgs := 0
 		for _, nb := range s.sys.G.Neighbors(p) {
 			if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
+				msgs++
+				if !s.sys.Arrives(metrics.MAdsRequest, p, nb, sc.fkey, sc.nextSeq()) {
+					continue
+				}
 				out = append(out, hopTarget{node: nb, pathLat: sim.Clock(s.sys.Latency(p, nb))})
 			}
 		}
 		sc.targets = out
-		return out, len(out)
+		return out, msgs
 	}
 	visited, pathLat := sc.bfsState(s.sys.NumNodes())
 	epoch := sc.epoch
@@ -302,6 +416,9 @@ func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]
 					continue
 				}
 				msgs++
+				if !s.sys.Arrives(metrics.MAdsRequest, u, nb, sc.fkey, sc.nextSeq()) {
+					continue // copy lost: nb may still arrive via another edge
+				}
 				if visited[nb] == epoch {
 					continue
 				}

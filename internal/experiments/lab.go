@@ -9,6 +9,7 @@ import (
 
 	"asap/internal/content"
 	"asap/internal/core"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/netmodel"
 	"asap/internal/overlay"
@@ -112,6 +113,9 @@ func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers
 		sys = sim.NewSystem(l.U, l.Tr, topo, l.Net, l.Scale.Seed)
 	} else {
 		sys = l.topoProto(topo).NewSystem(l.U, l.Tr)
+	}
+	if l.Scale.LossRate > 0 {
+		sys.SetFaults(faults.New(faults.Config{Seed: l.Scale.Seed, LossRate: l.Scale.LossRate}))
 	}
 	return sim.Run(sys, sch, sim.RunOptions{Workers: queryWorkers}), nil
 }

@@ -30,7 +30,12 @@ type Scale struct {
 	// GOMAXPROCS). Runs are independent, so the worker count never
 	// changes the Matrix (see TestRunMatrixParallelDeterminism).
 	MatrixWorkers int
-	Seed          uint64
+	// LossRate attaches a fault plane dropping this fraction of messages
+	// (0 = reliable network, the paper's model). Drops are a pure function
+	// of the lab seed and each message's identity, so lossy runs stay as
+	// deterministic as reliable ones (see internal/faults).
+	LossRate float64
+	Seed     uint64
 }
 
 // ScaleFull is the paper's configuration.

@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+)
+
+func TestNilPlaneIsReliable(t *testing.T) {
+	var p *Plane
+	if p.Active() {
+		t.Error("nil plane reports Active")
+	}
+	if p.GracefulLeave() {
+		t.Error("nil plane reports GracefulLeave")
+	}
+	if p.LossRate() != 0 {
+		t.Error("nil plane has non-zero loss rate")
+	}
+	for seq := uint32(0); seq < 100; seq++ {
+		if p.Drop(metrics.MQuery, 1, 2, 42, seq) {
+			t.Fatal("nil plane dropped a message")
+		}
+		if p.Jitter(metrics.MQuery, 1, 2, 42, seq) != 0 {
+			t.Fatal("nil plane jittered a message")
+		}
+	}
+}
+
+func TestZeroLossNeverDrops(t *testing.T) {
+	p := New(Config{Seed: 7})
+	if p.Active() {
+		t.Error("zero-loss plane reports Active")
+	}
+	for seq := uint32(0); seq < 10000; seq++ {
+		if p.Drop(metrics.MConfirm, 3, 9, 1234, seq) {
+			t.Fatal("zero-loss plane dropped a message")
+		}
+	}
+}
+
+func TestDropIsDeterministic(t *testing.T) {
+	a := New(Config{Seed: 11, LossRate: 0.3})
+	b := New(Config{Seed: 11, LossRate: 0.3})
+	diff := 0
+	for seq := uint32(0); seq < 5000; seq++ {
+		x := a.Drop(metrics.MQuery, 5, 17, 99, seq)
+		if y := b.Drop(metrics.MQuery, 5, 17, 99, seq); x != y {
+			t.Fatalf("seq %d: same plane config disagrees (%v vs %v)", seq, x, y)
+		}
+		if x != a.Drop(metrics.MQuery, 5, 17, 100, seq) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("drop decisions ignore the stream key")
+	}
+}
+
+func TestDropRateCalibration(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.05, 0.2, 0.5} {
+		p := New(Config{Seed: 3, LossRate: rate})
+		const n = 200000
+		drops := 0
+		for seq := uint32(0); seq < n; seq++ {
+			if p.Drop(metrics.MAdFull, 1, 2, uint64(seq>>8), seq) {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		// 6σ binomial tolerance.
+		tol := 6 * math.Sqrt(rate*(1-rate)/n)
+		if math.Abs(got-rate) > tol {
+			t.Errorf("loss %v: observed %v (outside ±%v)", rate, got, tol)
+		}
+	}
+}
+
+func TestDecisionVariesWithIdentity(t *testing.T) {
+	p := New(Config{Seed: 1, LossRate: 0.5})
+	// Each perturbation of the message identity must flip the decision for
+	// some stream key — i.e. every identity component feeds the hash.
+	var flips [4]int
+	for key := uint64(0); key < 100; key++ {
+		base := p.Drop(metrics.MQuery, 1, 2, key, 0)
+		variants := [...]bool{
+			p.Drop(metrics.MQueryHit, 1, 2, key, 0),  // class
+			p.Drop(metrics.MQuery, 2, 1, key, 0),     // direction
+			p.Drop(metrics.MQuery, 1, 2, key+500, 0), // key
+			p.Drop(metrics.MQuery, 1, 2, key, 1),     // seq
+		}
+		for i, v := range variants {
+			if v != base {
+				flips[i]++
+			}
+		}
+	}
+	for i, n := range flips {
+		if n == 0 {
+			t.Errorf("identity component %d never affected the decision", i)
+		}
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	p := New(Config{Seed: 5, JitterMS: 30})
+	seen := map[int64]bool{}
+	for seq := uint32(0); seq < 2000; seq++ {
+		j := p.Jitter(metrics.MQuery, 4, 8, 77, seq)
+		if j < 0 || j > 30 {
+			t.Fatalf("jitter %d out of [0,30]", j)
+		}
+		if j != p.Jitter(metrics.MQuery, 4, 8, 77, seq) {
+			t.Fatal("jitter is not deterministic")
+		}
+		seen[j] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("jitter covers only %d of 31 values over 2000 draws", len(seen))
+	}
+	if New(Config{Seed: 5}).Jitter(metrics.MQuery, 4, 8, 77, 0) != 0 {
+		t.Error("jitter without JitterMS configured")
+	}
+}
+
+func TestKeyDistinguishesEvents(t *testing.T) {
+	seen := map[uint64]bool{}
+	for tms := int64(0); tms < 50; tms++ {
+		for node := overlay.NodeID(0); node < 50; node++ {
+			k := Key(tms, node)
+			if seen[k] {
+				t.Fatalf("key collision at t=%d node=%d", tms, node)
+			}
+			seen[k] = true
+		}
+	}
+	if Fold(Key(1, 1), 2) == Key(1, 1) {
+		t.Error("Fold is a no-op")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	for _, cfg := range []Config{{LossRate: -0.1}, {LossRate: 1}, {JitterMS: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -97,6 +97,13 @@ type LoadAccount struct {
 	cells   []int64 // seconds × NumMsgClasses, atomically updated
 	warm    [NumMsgClasses]int64
 	live    []int32 // live peers at each second
+
+	// Fault-plane event counters (atomically updated): messages the
+	// network dropped, retries those drops provoked, and contacts given
+	// up on after every attempt failed.
+	drops    int64
+	retries  int64
+	timeouts int64
 }
 
 // NewLoadAccount sizes an account for the given experiment duration in
@@ -133,11 +140,32 @@ func (a *LoadAccount) Add(tMS int64, c MsgClass, bytes int) {
 	atomic.AddInt64(&a.cells[sec*NumMsgClasses+int(c)], int64(bytes))
 }
 
-// SetLive records the number of live peers during second sec.
+// SetLive records the number of live peers during second sec. Seconds at
+// or past the end update the final bucket — the same fold Add applies —
+// so the horizon second's bytes divide by the live count that produced
+// them instead of a silently stale one.
 func (a *LoadAccount) SetLive(sec, n int) {
-	if sec >= 0 && sec < a.seconds {
-		a.live[sec] = int32(n)
+	if sec < 0 {
+		return
 	}
+	if sec >= a.seconds {
+		sec = a.seconds - 1
+	}
+	a.live[sec] = int32(n)
+}
+
+// CountDrop records one message lost to the fault plane.
+func (a *LoadAccount) CountDrop() { atomic.AddInt64(&a.drops, 1) }
+
+// CountRetry records one retransmission provoked by a timeout.
+func (a *LoadAccount) CountRetry() { atomic.AddInt64(&a.retries, 1) }
+
+// CountTimeout records one contact abandoned after its last attempt.
+func (a *LoadAccount) CountTimeout() { atomic.AddInt64(&a.timeouts, 1) }
+
+// FaultCounts returns the fault-plane event totals.
+func (a *LoadAccount) FaultCounts() (drops, retries, timeouts int64) {
+	return atomic.LoadInt64(&a.drops), atomic.LoadInt64(&a.retries), atomic.LoadInt64(&a.timeouts)
 }
 
 // Live returns the recorded live-peer count for second sec.

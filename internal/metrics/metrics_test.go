@@ -181,9 +181,9 @@ func TestLoadAccountMinimumSize(t *testing.T) {
 		t.Errorf("Seconds = %d, want clamped to 1", a.Seconds())
 	}
 	a.Add(0, MQuery, 1)
-	a.SetLive(5, 3) // out of range: ignored
-	if a.Live(0) != 0 {
-		t.Error("unexpected live count")
+	a.SetLive(5, 3) // past the end: folds into the final (only) bucket, like Add
+	if a.Live(0) != 3 {
+		t.Error("out-of-range SetLive did not fold into the final bucket")
 	}
 }
 
@@ -303,5 +303,54 @@ func TestSearchStatsConcurrent(t *testing.T) {
 	wg.Wait()
 	if s.Total() != 4000 {
 		t.Errorf("Total = %d, want 4000", s.Total())
+	}
+}
+
+func TestSetLiveFoldsBoundarySecond(t *testing.T) {
+	// Add folds bytes at or past the horizon into the final bucket, so
+	// SetLive must fold the matching live-count update the same way — the
+	// runner's last advance calls SetLive(Seconds()), and dropping it
+	// leaves the final bucket's bytes divided by a stale denominator.
+	a := NewLoadAccount(3)
+	a.SetLive(0, 4)
+	a.SetLive(1, 4)
+	a.SetLive(2, 4)
+	a.Add(3500, MQuery, 8192) // folded into second 2
+	a.SetLive(3, 2)           // boundary second: must update bucket 2
+	if got := a.Live(2); got != 2 {
+		t.Fatalf("Live(2) = %d after SetLive(3, 2), want 2", got)
+	}
+	series := a.Series(BaselineLoadMask)
+	// 8 KB over 2 live nodes → 4 KB/node/s in the final bucket.
+	if got := series[2]; math.Abs(got-4) > 1e-9 {
+		t.Errorf("final-bucket load %v KB/node/s, want 4", got)
+	}
+	a.SetLive(-1, 99) // negative seconds stay ignored
+	for s := 0; s < 3; s++ {
+		if a.Live(s) == 99 {
+			t.Error("negative-second SetLive mutated a bucket")
+		}
+	}
+}
+
+func TestFaultCounters(t *testing.T) {
+	a := NewLoadAccount(1)
+	if d, r, to := a.FaultCounts(); d != 0 || r != 0 || to != 0 {
+		t.Fatal("fresh account has non-zero fault counts")
+	}
+	a.CountDrop()
+	a.CountDrop()
+	a.CountRetry()
+	a.CountTimeout()
+	a.CountTimeout()
+	a.CountTimeout()
+	d, r, to := a.FaultCounts()
+	if d != 2 || r != 1 || to != 3 {
+		t.Fatalf("FaultCounts = (%d, %d, %d), want (2, 1, 3)", d, r, to)
+	}
+	sum := Summarize("s", "t", &SearchStats{}, a, AllMask)
+	if sum.Drops != 2 || sum.Retries != 1 || sum.Timeouts != 3 {
+		t.Errorf("Summary fault counts = (%d, %d, %d), want (2, 1, 3)",
+			sum.Drops, sum.Retries, sum.Timeouts)
 	}
 }

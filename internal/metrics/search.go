@@ -158,11 +158,17 @@ type Summary struct {
 	LoadSeries []float64              // Fig. 10
 
 	WarmupBytes int64 // ad pre-distribution cost, excluded from load
+
+	// Fault-plane event totals; all zero on a reliable network.
+	Drops    int64
+	Retries  int64
+	Timeouts int64
 }
 
 // Summarize combines search stats and load accounting into a Summary.
 func Summarize(scheme, topology string, ss *SearchStats, la *LoadAccount, loadMask ClassMask) Summary {
 	mean, std := la.MeanStd(loadMask)
+	drops, retries, timeouts := la.FaultCounts()
 	return Summary{
 		Scheme:          scheme,
 		Topology:        topology,
@@ -179,5 +185,8 @@ func Summarize(scheme, topology string, ss *SearchStats, la *LoadAccount, loadMa
 		Breakdown:       la.Breakdown(loadMask),
 		LoadSeries:      la.Series(loadMask),
 		WarmupBytes:     la.WarmupBytes(AllMask),
+		Drops:           drops,
+		Retries:         retries,
+		Timeouts:        timeouts,
 	}
 }

@@ -60,6 +60,19 @@ type scratch struct {
 	nodes   []overlay.NodeID // walker step nodes
 	acc     sim.SecAccumulator
 	accCtl  sim.SecAccumulator
+
+	// Fault-plane message stream of the current query (see faults.Key):
+	// fkey names the query, fseq numbers its messages, so drop decisions
+	// depend on the query alone, never on worker scheduling.
+	fkey uint64
+	fseq uint32
+}
+
+// nextSeq returns the query's next message sequence number.
+func (s *scratch) nextSeq() uint32 {
+	v := s.fseq
+	s.fseq++
+	return v
 }
 
 func newScratchPool(n int) *sync.Pool {
@@ -72,8 +85,10 @@ func newScratchPool(n int) *sync.Pool {
 	}}
 }
 
-// begin starts a fresh query in this scratch.
-func (s *scratch) begin() {
+// begin starts a fresh query in this scratch, keyed for the fault plane.
+func (s *scratch) begin(fkey uint64) {
+	s.fkey = fkey
+	s.fseq = 0
 	s.epoch++
 	if s.epoch == 0 { // wrapped: clear stamps once per 2^32 queries
 		for i := range s.stamp {

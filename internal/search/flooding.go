@@ -3,6 +3,7 @@ package search
 import (
 	"sync"
 
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/sim"
 	"asap/internal/trace"
@@ -35,12 +36,16 @@ func (f *Flooding) Attach(sys *sim.System) {
 
 // Search simulates one flood cascade. Every queue push is one query
 // message (duplicates included — a node that already saw the query still
-// receives the copies its neighbours send).
+// receives the copies its neighbours send). Under a fault plane a dropped
+// copy costs its sender the message but never arrives (the branch is
+// pruned unless another copy reaches the node), and a dropped hit reply
+// costs the responder the bytes without the requester learning of the
+// hit.
 func (f *Flooding) Search(ev *trace.Event) metrics.SearchResult {
 	sys := f.sys
 	sc := f.pool.Get().(*scratch)
 	defer f.pool.Put(sc)
-	sc.begin()
+	sc.begin(faults.Key(ev.Time, ev.Node))
 
 	src := ev.Node
 	qBytes := sim.QueryBytes(len(ev.Terms))
@@ -60,12 +65,16 @@ func (f *Flooding) Search(ev *trace.Event) metrics.SearchResult {
 		sc.visit(it.Node, it.T, it.Hop)
 
 		if it.Node != src && sys.NodeMatches(it.Node, ev.Terms) {
-			hits++
 			reply := it.T + sim.Clock(sys.Latency(it.Node, src))
 			sc.acc.Add(it.T, sim.QueryHitBytes())
-			if reply < best {
-				best = reply
-				bestHop = it.Hop
+			rseq := sc.nextSeq()
+			if sys.Arrives(metrics.MQueryHit, it.Node, src, sc.fkey, rseq) {
+				hits++
+				reply += sys.JitterMS(metrics.MQueryHit, it.Node, src, sc.fkey, rseq)
+				if reply < best {
+					best = reply
+					bestHop = it.Hop
+				}
 			}
 		}
 		if int(it.Hop) >= f.TTL {
@@ -76,8 +85,13 @@ func (f *Flooding) Search(ev *trace.Event) metrics.SearchResult {
 				continue
 			}
 			msgs++
+			seq := sc.nextSeq()
+			if !sys.Arrives(metrics.MQuery, it.Node, nb, sc.fkey, seq) {
+				continue // copy lost; nb may still get one via another edge
+			}
 			sc.pq.Push(sim.PQItem{
-				T:    it.T + sim.Clock(sys.Latency(it.Node, nb)),
+				T: it.T + sim.Clock(sys.Latency(it.Node, nb)) +
+					sys.JitterMS(metrics.MQuery, it.Node, nb, sc.fkey, seq),
 				Node: nb,
 				From: it.Node,
 				Hop:  it.Hop + 1,

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 	"sync"
 
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/overlay"
 	"asap/internal/sim"
@@ -43,7 +44,7 @@ func (g *GSA) Search(ev *trace.Event) metrics.SearchResult {
 	sys := g.sys
 	sc := g.pool.Get().(*scratch)
 	defer g.pool.Put(sc)
-	sc.begin()
+	sc.begin(faults.Key(ev.Time, ev.Node))
 
 	src := ev.Node
 	var seeds []overlay.NodeID

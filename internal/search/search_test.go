@@ -316,12 +316,12 @@ func TestPickNeighborAvoidsBacktrack(t *testing.T) {
 func TestScratchEpochWrap(t *testing.T) {
 	sc := &scratch{stamp: make([]uint32, 4), arrival: make([]sim.Clock, 4), hop: make([]int32, 4)}
 	sc.epoch = ^uint32(0) - 1
-	sc.begin()
+	sc.begin(0)
 	sc.visit(1, 5, 0)
 	if !sc.seen(1) || sc.seen(2) {
 		t.Fatal("visit bookkeeping broken near wrap")
 	}
-	sc.begin() // wraps to 0 → forced clear to epoch 1
+	sc.begin(0) // wraps to 0 → forced clear to epoch 1
 	if sc.seen(1) {
 		t.Fatal("stale visit survived epoch wrap")
 	}

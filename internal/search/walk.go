@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"asap/internal/content"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/overlay"
 	"asap/internal/sim"
@@ -12,17 +13,23 @@ import (
 )
 
 // walkRec summarises one walker's traversal: its step records live in the
-// scratch's flat times/nodes arrays at [start, start+steps).
+// scratch's flat times/nodes arrays at [start, start+steps). A lost
+// walker had a forwarded copy dropped at its final recorded step — the
+// copy was paid for but never arrived, so the walk ends there and the
+// final node was never actually visited.
 type walkRec struct {
 	start     int
 	steps     int
 	matched   bool
 	matchTime sim.Clock
+	lost      bool
 }
 
 // runWalker walks one random walker from src for at most ttl steps,
 // stopping early at the first node matching the query. Step records are
-// appended to the scratch arrays.
+// appended to the scratch arrays. Under a fault plane each forwarded copy
+// can be dropped, killing the walker silently (nobody retransmits a
+// walker).
 func runWalker(sys *sim.System, sc *scratch, rng *rand.Rand, src overlay.NodeID, start overlay.NodeID, t sim.Clock, ttl int, terms []content.Keyword) walkRec {
 	rec := walkRec{start: len(sc.nodes)}
 	cur, prev := start, src
@@ -32,6 +39,13 @@ func runWalker(sys *sim.System, sc *scratch, rng *rand.Rand, src overlay.NodeID,
 		sc.nodes = append(sc.nodes, cur)
 		sc.times = append(sc.times, t)
 		rec.steps++
+		seq := sc.nextSeq()
+		if !sys.Arrives(metrics.MQuery, src, cur, sc.fkey, seq) {
+			rec.lost = true // seed copy dropped: the walker never starts
+			return rec
+		}
+		t += sys.JitterMS(metrics.MQuery, src, cur, sc.fkey, seq)
+		sc.times[rec.start] = t
 		if sys.NodeMatches(cur, terms) {
 			rec.matched, rec.matchTime = true, t
 			return rec
@@ -47,6 +61,13 @@ func runWalker(sys *sim.System, sc *scratch, rng *rand.Rand, src overlay.NodeID,
 		sc.nodes = append(sc.nodes, cur)
 		sc.times = append(sc.times, t)
 		rec.steps++
+		seq := sc.nextSeq()
+		if !sys.Arrives(metrics.MQuery, prev, cur, sc.fkey, seq) {
+			rec.lost = true // walker lost in transit
+			break
+		}
+		t += sys.JitterMS(metrics.MQuery, prev, cur, sc.fkey, seq)
+		sc.times[rec.start+rec.steps-1] = t
 		if cur != src && sys.NodeMatches(cur, terms) {
 			rec.matched, rec.matchTime = true, t
 			break
@@ -93,10 +114,14 @@ func pickNeighbor(sys *sim.System, cur, prev overlay.NodeID, rng *rand.Rand) ove
 // the effective message counts under the checking termination policy, and
 // accounts the traffic. It returns the query's result.
 //
-// A walker stops at its own match, at a dead end, at TTL exhaustion, or at
-// the first check-back whose probe time is at or after the query's
-// resolution time (the probe and its reply are accounted as control
-// traffic, which baseline masks exclude).
+// A walker stops at its own match, at a dead end, at TTL exhaustion, at
+// the copy the fault plane dropped, or at the first check-back whose
+// probe time is at or after the query's resolution time (the probe and
+// its reply are accounted as control traffic, which baseline masks
+// exclude). A hit reply or either check-back leg can itself be dropped: a
+// lost hit reply means the requester never learns of the match, a lost
+// check-back leg means the walker gets no stop instruction and keeps
+// walking.
 func settleWalk(sys *sim.System, sc *scratch, recs []walkRec, src overlay.NodeID,
 	t0 sim.Clock, qBytes int, extraMsgs int) metrics.SearchResult {
 
@@ -107,10 +132,15 @@ func settleWalk(sys *sim.System, sc *scratch, recs []walkRec, src overlay.NodeID
 		if !r.matched {
 			continue
 		}
-		hits++
 		matchNode := sc.nodes[r.start+r.steps-1]
 		reply := r.matchTime + sim.Clock(sys.Latency(matchNode, src))
 		sc.acc.Add(r.matchTime, sim.QueryHitBytes())
+		rseq := sc.nextSeq()
+		if !sys.Arrives(metrics.MQueryHit, matchNode, src, sc.fkey, rseq) {
+			continue // hit reply lost: the requester never hears of it
+		}
+		hits++
+		reply += sys.JitterMS(metrics.MQueryHit, matchNode, src, sc.fkey, rseq)
 		if reply < resolved {
 			resolved = reply
 			bestHop = r.steps
@@ -121,9 +151,23 @@ func settleWalk(sys *sim.System, sc *scratch, recs []walkRec, src overlay.NodeID
 	msgs := extraMsgs
 	for _, r := range recs {
 		stop := r.steps
-		for s := CheckEvery; s <= r.steps; s += CheckEvery {
+		// A lost walker's final copy never arrived, so no check-back can
+		// originate from that step.
+		checkable := r.steps
+		if r.lost {
+			checkable--
+		}
+		for s := CheckEvery; s <= checkable; s += CheckEvery {
 			probeAt := sc.times[r.start+s-1]
-			sc.accCtl.Add(probeAt, 2*sim.CheckBackBytes())
+			walker := sc.nodes[r.start+s-1]
+			sc.accCtl.Add(probeAt, sim.CheckBackBytes())
+			if !sys.Arrives(metrics.MControl, walker, src, sc.fkey, sc.nextSeq()) {
+				continue // probe lost: no reply, no instruction
+			}
+			sc.accCtl.Add(probeAt, sim.CheckBackBytes())
+			if !sys.Arrives(metrics.MControl, src, walker, sc.fkey, sc.nextSeq()) {
+				continue // stop instruction lost: the walker keeps going
+			}
 			if resolved != noResponse && probeAt >= resolved {
 				stop = s
 				break
@@ -180,7 +224,7 @@ func (w *RandomWalk) Search(ev *trace.Event) metrics.SearchResult {
 	sys := w.sys
 	sc := w.pool.Get().(*scratch)
 	defer w.pool.Put(sc)
-	sc.begin()
+	sc.begin(faults.Key(ev.Time, ev.Node))
 
 	rng := rand.New(rand.NewPCG(querySeed(w.Seed, ev.Time, ev.Node), 0x9d8f3c21))
 	recs := make([]walkRec, 0, w.Walkers)

@@ -40,6 +40,16 @@ type Scheme interface {
 	LoadMask() metrics.ClassMask
 }
 
+// GracefulLeaver is an optional Scheme extension. When a scheme
+// implements it, the runner announces every Leave event before the
+// overlay detaches the node — while its links are still intact — so the
+// scheme can send goodbye traffic. Schemes gate the actual goodbye on the
+// fault plane's graceful-leave mode; without it the hook must be a no-op
+// (departures stay ungraceful, the paper's model).
+type GracefulLeaver interface {
+	NodeLeaving(t Clock, n overlay.NodeID)
+}
+
 // RunOptions tunes the replay.
 type RunOptions struct {
 	// Workers is the query-batch fan-out; 0 means GOMAXPROCS. Workers=1
@@ -97,6 +107,11 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 		}
 		flush()
 		advance(ev.Time)
+		if ev.Kind == trace.Leave {
+			if lv, ok := sch.(GracefulLeaver); ok {
+				lv.NodeLeaving(ev.Time, ev.Node)
+			}
+		}
 		sys.ApplyEvent(ev)
 		switch ev.Kind {
 		case trace.ContentAdd:

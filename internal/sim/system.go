@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"asap/internal/content"
+	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/netmodel"
 	"asap/internal/overlay"
@@ -36,6 +37,10 @@ type System struct {
 	docs      [][]content.DocID
 	docPos    []map[content.DocID]int32
 	kwIdx     []nodeIndex
+
+	// faults is the optional fault-injection plane; nil means a perfectly
+	// reliable network (the paper's model).
+	faults *faults.Plane
 
 	rng *rand.Rand // runner-side mutations (join wiring) only
 }
@@ -285,6 +290,46 @@ func (s *System) Latency(a, b overlay.NodeID) int { return s.G.Latency(a, b) }
 
 // Account books message bytes into the load account.
 func (s *System) Account(t Clock, c metrics.MsgClass, bytes int) { s.Load.Add(t, c, bytes) }
+
+// SetFaults installs a fault-injection plane. Call before Attach/replay;
+// nil (the default) models the paper's perfectly reliable network.
+func (s *System) SetFaults(p *faults.Plane) { s.faults = p }
+
+// Faults returns the installed fault plane (nil-safe to use directly).
+func (s *System) Faults() *faults.Plane { return s.faults }
+
+// Arrives decides whether the message identified by (key, seq) on the
+// src→dst link survives the network. Senders account bytes regardless —
+// a dropped message was still sent and still cost bandwidth — so call
+// Arrives after accounting. Lost messages are tallied on the load
+// account. Always true without a fault plane.
+func (s *System) Arrives(c metrics.MsgClass, src, dst overlay.NodeID, key uint64, seq uint32) bool {
+	if s.faults == nil {
+		return true
+	}
+	if s.faults.Drop(c, src, dst, key, seq) {
+		s.Load.CountDrop()
+		return false
+	}
+	return true
+}
+
+// Deliver is the per-message choke point: it accounts the send and
+// reports whether the message arrives. Cascades that batch their
+// accounting through a SecAccumulator call Arrives directly instead.
+func (s *System) Deliver(t Clock, c metrics.MsgClass, bytes int, src, dst overlay.NodeID, key uint64, seq uint32) bool {
+	s.Load.Add(t, c, bytes)
+	return s.Arrives(c, src, dst, key, seq)
+}
+
+// JitterMS returns the message's extra one-way latency under the fault
+// plane (0 without one).
+func (s *System) JitterMS(c metrics.MsgClass, src, dst overlay.NodeID, key uint64, seq uint32) Clock {
+	if s.faults == nil {
+		return 0
+	}
+	return s.faults.Jitter(c, src, dst, key, seq)
+}
 
 // NodeMatches reports whether node n shares at least one document
 // containing every query term — the ground truth used by baseline replies
