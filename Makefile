@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race loss-smoke bench-gate bench check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench fuzz-smoke obs-smoke alloc-gate profile check
 
 build:
 	$(GO) build ./...
@@ -40,4 +40,29 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkRunMatrix -benchmem .
 	$(GO) run ./cmd/experiments -benchjson BENCH_matrix.json
 
-check: vet fmt test race loss-smoke bench-gate
+# Short fuzz pass over the wire decoders (trace codec, Bloom filters and
+# patches). Go runs one fuzz target per invocation, hence three runs.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzFilterWire$$' -fuzztime $(FUZZTIME) ./internal/bloom
+	$(GO) test -run '^$$' -fuzz '^FuzzPatchDecode$$' -fuzztime $(FUZZTIME) ./internal/bloom
+
+# Observability-plane determinism under the race detector: per-second
+# series byte-identical across worker counts, and summaries unchanged by
+# attaching a recorder.
+obs-smoke:
+	$(GO) test -race -run 'TestObsSeries' ./internal/experiments
+
+# The obs-off hot path must not allocate (gate promised in internal/obs).
+alloc-gate:
+	$(GO) test -run 'TestObsOffHotPathAllocs' -count=1 .
+
+# Profile a small-scale matrix run; inspect with `go tool pprof out/cpu.pb`.
+profile:
+	mkdir -p out
+	$(GO) run ./cmd/experiments -scale small -figure 4 \
+		-cpuprofile out/cpu.pb -memprofile out/mem.pb -mutexprofile out/mutex.pb
+	@echo "profiles written to out/{cpu,mem,mutex}.pb"
+
+check: vet fmt test race loss-smoke bench-gate obs-smoke alloc-gate fuzz-smoke

@@ -13,11 +13,14 @@ import (
 	"sync"
 	"testing"
 
+	"asap/internal/content"
 	"asap/internal/core"
 	"asap/internal/experiments"
 	"asap/internal/metrics"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/sim"
+	"asap/internal/trace"
 )
 
 var (
@@ -78,6 +81,78 @@ func BenchmarkRunMatrix(b *testing.B) {
 			}
 			b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "runs/s")
 		})
+	}
+}
+
+// hotPathAllocs measures steady-state allocations per operation of the
+// two replay hot paths — Search and the ad-delivery cascade behind
+// ContentChanged — on a tiny attached system, with rec as the obs plane
+// (nil = obs off). It takes the minimum over several attempts so a
+// one-off sync.Pool refill or map growth cannot fail the gate.
+func hotPathAllocs(t *testing.T, rec *obs.Recorder) (search, deliver float64) {
+	t.Helper()
+	lab, err := experiments.NewLab(experiments.ScaleTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sim.NewSystem(lab.U, lab.Tr, overlay.Crawled, lab.Net, lab.Scale.Seed)
+	sys.SetObs(rec)
+	s := core.New(lab.Scale.ASAPConfig(core.RW))
+	s.Attach(sys)
+
+	var qev *trace.Event
+	for i := range lab.Tr.Events {
+		if lab.Tr.Events[i].Kind == trace.Query {
+			qev = &lab.Tr.Events[i]
+			break
+		}
+	}
+	if qev == nil {
+		t.Fatal("tiny trace has no query event")
+	}
+	doc := lab.U.Peer(content.PeerID(qev.Node)).Docs[0]
+	added := true
+
+	measure := func(fn func()) float64 {
+		for i := 0; i < 50; i++ {
+			fn() // reach steady state before measuring
+		}
+		min := testing.AllocsPerRun(200, fn)
+		for i := 0; i < 4; i++ {
+			if a := testing.AllocsPerRun(200, fn); a < min {
+				min = a
+			}
+		}
+		return min
+	}
+	search = measure(func() { s.Search(qev) })
+	deliver = measure(func() {
+		s.ContentChanged(qev.Time, qev.Node, doc, added)
+		added = !added
+	})
+	return search, deliver
+}
+
+// TestObsOffHotPathAllocs is the gate promised in internal/obs/doc.go:
+// with the obs plane off (nil recorder) the Search hot path allocates
+// nothing per query, and attaching a recorder adds zero allocations per
+// operation to both Search and the delivery cascade — all obs state is
+// preallocated cells updated by atomic adds.
+func TestObsOffHotPathAllocs(t *testing.T) {
+	offSearch, offDeliver := hotPathAllocs(t, nil)
+	if offSearch != 0 {
+		t.Errorf("obs-off Search allocates %.1f allocs/op, want 0", offSearch)
+	}
+	lab, err := experiments.NewLab(experiments.ScaleTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSearch, onDeliver := hotPathAllocs(t, obs.NewRecorder(int(lab.Tr.Span()/1000)+2))
+	if onSearch != offSearch {
+		t.Errorf("obs adds allocations to Search: %.1f on vs %.1f off", onSearch, offSearch)
+	}
+	if onDeliver != offDeliver {
+		t.Errorf("obs adds allocations to delivery: %.1f on vs %.1f off", onDeliver, offDeliver)
 	}
 }
 

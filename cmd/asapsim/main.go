@@ -6,6 +6,8 @@
 //
 //	asapsim [-scale full|small|tiny] [-scheme name] [-topo name]
 //	        [-trace file] [-workers n] [-seed n] [-series]
+//	        [-seriesdir dir] [-cpuprofile path] [-memprofile path]
+//	        [-mutexprofile path] [-pprof addr]
 //
 // With -trace, the query/churn trace is loaded from a file produced by
 // tracegen instead of being regenerated (the content universe is still
@@ -21,6 +23,7 @@ import (
 
 	"asap/internal/experiments"
 	"asap/internal/metrics"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/sim"
 	"asap/internal/trace"
@@ -35,15 +38,29 @@ func main() {
 		workers   = flag.Int("workers", 0, "query replay workers (0 = GOMAXPROCS)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		series    = flag.Bool("series", false, "also print the per-second load series")
+		seriesDir = flag.String("seriesdir", "", "write the run's per-second observability series (CSV+JSON) into this directory")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex profile to this path on exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := run(*scaleName, *scheme, *topo, *traceFile, *workers, *seed, *series); err != nil {
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf, *mutexProf, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asapsim:", err)
+		os.Exit(1)
+	}
+	err = run(*scaleName, *scheme, *topo, *traceFile, *workers, *seed, *series, *seriesDir)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "asapsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, scheme, topoName, traceFile string, workers int, seed uint64, series bool) error {
+func run(scaleName, scheme, topoName, traceFile string, workers int, seed uint64, series bool, seriesDir string) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
@@ -84,7 +101,20 @@ func run(scaleName, scheme, topoName, traceFile string, workers int, seed uint64
 		return err
 	}
 	sys := sim.NewSystem(lab.U, lab.Tr, kind, lab.Net, sc.Seed)
+	var rec *obs.Recorder
+	if seriesDir != "" {
+		rec = obs.NewRecorder(int(lab.Tr.Span()/1000) + 2)
+		sys.SetObs(rec)
+	}
 	sum := sim.Run(sys, sch, sim.RunOptions{Workers: sc.Workers})
+	if rec != nil {
+		key := fmt.Sprintf("%s/%s", sum.Scheme, sum.Topology)
+		files, err := obs.WriteDir(seriesDir, []obs.RunSeries{rec.Series(key, sys.Load)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d series files to %s\n", len(files), seriesDir)
+	}
 
 	fmt.Printf("scheme:            %s\n", sum.Scheme)
 	fmt.Printf("topology:          %s\n", sum.Topology)

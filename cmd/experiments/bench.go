@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"asap/internal/experiments"
+	"asap/internal/obs"
 )
 
 // benchSide records one timed full-matrix replay.
@@ -30,18 +31,23 @@ type benchSide struct {
 // allocation counters remain comparable, the ratio does not measure the
 // parallel path.
 type benchRecord struct {
-	Scale        string    `json:"scale"`
-	Seed         uint64    `json:"seed"`
-	GOMAXPROCS   int       `json:"gomaxprocs"`
-	NumCPU       int       `json:"num_cpu"`
-	Runs         int       `json:"runs"`
-	LabBuildMS   float64   `json:"lab_build_ms"`
-	Baseline     benchSide `json:"baseline_sequential_fresh"`
-	Optimized    benchSide `json:"optimized_parallel_cloned"`
-	SpeedupX     *float64  `json:"speedup_x"`
-	SpeedupNote  string    `json:"speedup_note,omitempty"`
-	OutputsEqual bool      `json:"outputs_equal"`
-	When         string    `json:"when"`
+	Scale      string    `json:"scale"`
+	Seed       uint64    `json:"seed"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Runs       int       `json:"runs"`
+	LabBuildMS float64   `json:"lab_build_ms"`
+	Baseline   benchSide `json:"baseline_sequential_fresh"`
+	Optimized  benchSide `json:"optimized_parallel_cloned"`
+	// Phases is the optimized side's wall-clock phase breakdown, summed
+	// across all matrix cells and workers (topology clone, attach/warm-up,
+	// replay, search phases, delivery). Wall-clock figures: comparable
+	// within one record, not across machines.
+	Phases       []obs.PhaseStat `json:"optimized_phase_timing"`
+	SpeedupX     *float64        `json:"speedup_x"`
+	SpeedupNote  string          `json:"speedup_note,omitempty"`
+	OutputsEqual bool            `json:"outputs_equal"`
+	When         string          `json:"when"`
 }
 
 // timedMatrix replays the full matrix under opt and measures wall time
@@ -109,7 +115,8 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 		matrixWorkers = runtime.NumCPU()
 	}
 	progress("benchjson: parallel optimized (cloned graphs, %d workers)…", matrixWorkers)
-	optMat, opt, err := timedMatrix(lab, experiments.MatrixOptions{Workers: matrixWorkers})
+	timing := &obs.Timing{}
+	optMat, opt, err := timedMatrix(lab, experiments.MatrixOptions{Workers: matrixWorkers, Timing: timing})
 	if err != nil {
 		return err
 	}
@@ -127,6 +134,7 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 		LabBuildMS:   float64(labBuild.Milliseconds()),
 		Baseline:     base,
 		Optimized:    opt,
+		Phases:       timing.Stats(),
 		OutputsEqual: reflect.DeepEqual(baseMat, optMat),
 		When:         time.Now().UTC().Format(time.RFC3339),
 	}

@@ -6,6 +6,8 @@
 //	experiments [-scale full|small|tiny] [-figure all|2|3|...|10|claims]
 //	            [-schemes csv] [-topos csv] [-workers n] [-matrixworkers n]
 //	            [-seed n] [-loss rate] [-quiet] [-benchjson path]
+//	            [-series dir] [-cpuprofile path] [-memprofile path]
+//	            [-mutexprofile path] [-pprof addr]
 //
 // Examples:
 //
@@ -15,6 +17,8 @@
 //	experiments -scale small -loss 0.02      # the matrix on a 2%-lossy network
 //	experiments -scale tiny -figure loss     # loss sweep: 0/1/2/5% message loss
 //	experiments -benchjson BENCH_matrix.json # perf record: baseline vs parallel
+//	experiments -series out/                 # + per-second series per run (CSV+JSON)
+//	experiments -cpuprofile cpu.out          # profile the run (go tool pprof cpu.out)
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"asap/internal/experiments"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 )
 
@@ -41,40 +46,42 @@ func main() {
 		loss      = flag.Float64("loss", 0, "message loss rate in [0,1); 0 is the paper's reliable network")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		benchJSON = flag.String("benchjson", "", "write a matrix perf record (baseline vs parallel) to this path and exit")
+		seriesDir = flag.String("series", "", "write each run's per-second observability series (CSV+JSON) into this directory")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex profile to this path on exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *loss < 0 || *loss >= 1 {
 		fmt.Fprintf(os.Stderr, "experiments: -loss %v out of [0,1)\n", *loss)
 		os.Exit(1)
 	}
-	if *benchJSON != "" {
-		if err := runBenchJSON(*scaleName, *seed, *matrixW, *benchJSON, *quiet); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
+	stopProf, err := obs.StartProfiles(*cpuProf, *memProf, *mutexProf, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
-	if *figure == "seeds" {
-		if err := runSeeds(*scaleName, *schemes, *topos, *workers, *seedCount, *quiet); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
+	switch {
+	case *benchJSON != "":
+		err = runBenchJSON(*scaleName, *seed, *matrixW, *benchJSON, *quiet)
+	case *figure == "seeds":
+		err = runSeeds(*scaleName, *schemes, *topos, *workers, *seedCount, *quiet)
+	case *figure == "loss":
+		err = runLossSweep(*scaleName, *schemes, *topos, *seed, *seriesDir, *quiet)
+	default:
+		err = run(*scaleName, *figure, *schemes, *topos, *workers, *matrixW, *seed, *loss, *seriesDir, *quiet)
 	}
-	if *figure == "loss" {
-		if err := runLossSweep(*scaleName, *schemes, *topos, *seed, *quiet); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
-	if err := run(*scaleName, *figure, *schemes, *topos, *workers, *matrixW, *seed, *loss, *quiet); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, loss float64, quiet bool) error {
+func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, loss float64, seriesDir string, quiet bool) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
@@ -116,12 +123,23 @@ func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers in
 
 	needMatrix := figure != "2" && figure != "3"
 	var m experiments.Matrix
+	var series *obs.Collector
 	if needMatrix {
-		m, err = lab.RunMatrix(schemeList, topoList, func(s string, k overlay.Kind) {
+		if seriesDir != "" {
+			series = obs.NewCollector()
+		}
+		m, err = lab.RunMatrixOpt(schemeList, topoList, func(s string, k overlay.Kind) {
 			progress("running %-12s on %-8s (%v elapsed)", s, k, time.Since(start).Round(time.Second))
-		})
+		}, experiments.MatrixOptions{Workers: sc.MatrixWorkers, Series: series})
 		if err != nil {
 			return err
+		}
+		if series != nil {
+			files, err := obs.WriteDir(seriesDir, series.Runs())
+			if err != nil {
+				return err
+			}
+			progress("wrote %d series files to %s", len(files), seriesDir)
 		}
 	}
 
@@ -228,7 +246,7 @@ func runSeeds(scaleName, schemeCSV, topoCSV string, workers, nSeeds int, quiet b
 // runLossSweep replays the selected schemes on one topology under a
 // ladder of message-loss rates, showing how each degrades off the paper's
 // reliable-network assumption.
-func runLossSweep(scaleName, schemeCSV, topoCSV string, seed uint64, quiet bool) error {
+func runLossSweep(scaleName, schemeCSV, topoCSV string, seed uint64, seriesDir string, quiet bool) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
@@ -250,9 +268,22 @@ func runLossSweep(scaleName, schemeCSV, topoCSV string, seed uint64, quiet bool)
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "loss sweep on %s over rates %v…\n", topo, rates)
 	}
-	sw, err := experiments.RunLossSweep(sc, schemeList, topo, rates)
+	var series *obs.Collector
+	if seriesDir != "" {
+		series = obs.NewCollector()
+	}
+	sw, err := experiments.RunLossSweep(sc, schemeList, topo, rates, series)
 	if err != nil {
 		return err
+	}
+	if series != nil {
+		files, err := obs.WriteDir(seriesDir, series.Runs())
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d series files to %s\n", len(files), seriesDir)
+		}
 	}
 	fmt.Println(experiments.FormatLossSweep(sw))
 	return nil

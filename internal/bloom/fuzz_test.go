@@ -1,0 +1,83 @@
+package bloom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFilterWire feeds arbitrary bytes to the wire-filter decoder: it must
+// never panic or allocate a bitmap larger than maxWireBits, and any filter
+// it accepts must reach an encode/decode fixpoint (re-encoding yields a
+// filter equal to the first decode).
+func FuzzFilterWire(f *testing.F) {
+	small := NewDefault()
+	for _, k := range []uint64{1, 42, 1 << 40} {
+		small.AddKey(k)
+	}
+	f.Add(small.EncodeWire())
+	dense := NewDefault()
+	for k := uint64(0); k < 2000; k++ {
+		dense.AddKey(k) // dense enough that raw beats compressed
+	}
+	f.Add(dense.EncodeWire())
+	f.Add(append([]byte{0}, dense.EncodeRaw()...))
+	f.Add(append([]byte{1}, small.EncodeCompressed()...))
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0})                      // unknown format byte
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0x7f, 8}) // oversized geometry
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f1, err := DecodeWire(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		wire := f1.EncodeWire()
+		f2, err := DecodeWire(wire)
+		if err != nil {
+			t.Fatalf("decoding re-encoded filter: %v", err)
+		}
+		if !f1.Equal(f2) {
+			t.Fatal("re-encoded filter differs from first decode")
+		}
+	})
+}
+
+// FuzzPatchDecode feeds arbitrary bytes to the patch decoder: no panics,
+// and accepted patches must re-encode to the exact same bytes (the encoder
+// canonicalises, so a decoded patch is already canonical).
+func FuzzPatchDecode(f *testing.F) {
+	p := Patch{Set: []uint32{3, 90, 91, 4000}, Cleared: []uint32{17}}
+	f.Add(p.Encode())
+	f.Add(Patch{}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f}) // count exceeding the data
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePatch(data)
+		if err != nil {
+			return
+		}
+		enc := p.Encode()
+		p2, err := DecodePatch(enc)
+		if err != nil {
+			t.Fatalf("decoding re-encoded patch: %v", err)
+		}
+		if !bytes.Equal(enc, p2.Encode()) {
+			t.Fatal("patch encoding is not a fixpoint")
+		}
+	})
+}
+
+// TestDecodeWireRejectsOversizedGeometry pins the maxWireBits cap: a tiny
+// forged header must not make the decoder allocate a giant bitmap.
+func TestDecodeWireRejectsOversizedGeometry(t *testing.T) {
+	// m = 2^30 as a varint, k = 8, raw format — body absent.
+	hdr := []byte{0, 0x80, 0x80, 0x80, 0x80, 0x04, 8}
+	if _, err := DecodeWire(hdr); err == nil {
+		t.Fatal("raw decode accepted m beyond maxWireBits")
+	}
+	hdr[0] = 1 // compressed format
+	if _, err := DecodeWire(hdr); err == nil {
+		t.Fatal("compressed decode accepted m beyond maxWireBits")
+	}
+}

@@ -61,10 +61,16 @@ func (f *Filter) EncodeCompressed() []byte {
 	return buf
 }
 
+// maxWireBits bounds the filter geometry a decoder accepts: 2^26 bits
+// (8 MB) is orders of magnitude above any filter the sizing pools produce
+// (DefaultBits is ~11.5 kbit) yet small enough that a forged header cannot
+// make the decoder allocate an arbitrarily large bitmap.
+const maxWireBits = 1 << 26
+
 // DecodeCompressed parses a filter encoded by EncodeCompressed.
 func DecodeCompressed(data []byte) (*Filter, error) {
 	m, n := binary.Uvarint(data)
-	if n <= 0 || m == 0 || m > 1<<31 {
+	if n <= 0 || m == 0 || m > maxWireBits {
 		return nil, fmt.Errorf("bloom: bad compressed header")
 	}
 	data = data[n:]
@@ -108,7 +114,7 @@ func (f *Filter) EncodeRaw() []byte {
 // DecodeRaw parses a filter encoded by EncodeRaw.
 func DecodeRaw(data []byte) (*Filter, error) {
 	m, n := binary.Uvarint(data)
-	if n <= 0 || m == 0 || m > 1<<31 {
+	if n <= 0 || m == 0 || m > maxWireBits {
 		return nil, fmt.Errorf("bloom: bad raw header")
 	}
 	data = data[n:]
@@ -203,6 +209,11 @@ func readPosList(data []byte) ([]uint32, []byte, error) {
 		return nil, nil, fmt.Errorf("implausible count %d", count)
 	}
 	data = data[n:]
+	// Every entry is at least one byte, so a count beyond the remaining
+	// bytes is corrupt — reject it before sizing the slice from it.
+	if count > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("count %d exceeds %d remaining bytes", count, len(data))
+	}
 	pos := make([]uint32, 0, count)
 	prev := uint64(0)
 	for i := uint64(0); i < count; i++ {

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/faults"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// chainScanReference is the straight-line specification of phase 1's cache
+// lookup: every cached source whose filter passes all probes, regardless
+// of topic chains, aggregates or index state.
+func chainScanReference(ns *nodeState, probes []bloom.Probe) []overlay.NodeID {
+	var out []overlay.NodeID
+	for src, e := range ns.cache {
+		if e.snap.filter.ContainsAllProbes(probes) {
+			out = append(out, src)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// serveAdsReference is the straight-line specification of serveAds: walk
+// the fifo in insertion order and offer every fresh, interest-matching,
+// probe-passing entry except the requester's own, up to max.
+func serveAdsReference(ns *nodeState, interests content.ClassSet, staleBefore sim.Clock, probes []bloom.Probe, requester overlay.NodeID, max int) []*adSnapshot {
+	var out []*adSnapshot
+	for _, src := range ns.fifo {
+		if len(out) >= max {
+			break
+		}
+		e, ok := ns.cache[src]
+		if !ok || !e.snap.topics.Intersects(interests) {
+			continue
+		}
+		if e.lastSeen < staleBefore || e.snap.src == requester {
+			continue
+		}
+		if probes != nil && !e.snap.filter.ContainsAllProbes(probes) {
+			continue
+		}
+		out = append(out, e.snap)
+	}
+	return out
+}
+
+// TestIndexedCacheEquivalenceUnderChurnAndLoss replays the shared test
+// trace — joins, leaves, content churn and lossy searches all active at
+// once — against a deliberately tiny cache, and continually checks the
+// posting-chain index against the linear-scan specification. The regime
+// exercises exactly the paths that can desynchronise the index from the
+// cache: FIFO eviction (tiny capacity), dead-source eviction after failed
+// confirmations (loss plane), staleness expiry, patch re-topicing, and
+// arena compaction once dead elements dominate.
+func TestIndexedCacheEquivalenceUnderChurnAndLoss(t *testing.T) {
+	sys := sim.NewSystem(testU, testTr, overlay.Crawled, testNet, 77)
+	sys.SetFaults(faults.New(faults.Config{Seed: 77, LossRate: 0.05}))
+	cfg := testConfig(RW)
+	cfg.CacheCapacity = 25 // force constant eviction pressure
+	s := New(cfg)
+	s.Attach(sys)
+
+	// sample holds the nodes audited at every checkpoint; the querying
+	// node is additionally audited around each of its searches.
+	sample := []overlay.NodeID{1, 17, 99, 250, 399}
+
+	verify := func(where string, p overlay.NodeID, now sim.Clock, terms []content.Keyword) {
+		ns := &s.nodes[p]
+		var keys []uint64
+		for _, term := range terms {
+			keys = append(keys, uint64(term))
+		}
+		probes := bloom.AppendKeyProbes(nil, keys)
+
+		ns.mu.Lock()
+		defer ns.mu.Unlock()
+
+		got := append([]overlay.NodeID(nil), ns.scanChains(s.scanClasses(ns, terms, probes), probes, nil)...)
+		slices.Sort(got)
+		want := chainScanReference(ns, probes)
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s: node %d at t=%d: indexed scan %v != linear scan %v", where, p, now, got, want)
+		}
+
+		interests := s.groupInterests(p)
+		staleBefore := now - sim.Clock(cfg.StaleFactor*cfg.RefreshPeriodSec)*1000
+		for _, max := range []int{1, 4, 1 << 30} {
+			gotAds := ns.serveAds(nil, interests, staleBefore, probes, p, max)
+			wantAds := serveAdsReference(ns, interests, staleBefore, probes, p, max)
+			if !slices.Equal(gotAds, wantAds) {
+				t.Fatalf("%s: node %d at t=%d max=%d: serveAds %d entries, fifo reference %d", where, p, now, max, len(gotAds), len(wantAds))
+			}
+		}
+	}
+
+	// Replay mirrors sim.Run's serial schedule: per-second ticks, state
+	// events applied in order, queries searched in place — with index
+	// audits interleaved so every churn step is checked soon after.
+	curSec := 0
+	advance := func(tm sim.Clock) {
+		for int64(curSec+1)*1000 <= tm {
+			curSec++
+			s.Tick(int64(curSec) * 1000)
+		}
+	}
+	queries := 0
+	for i := range testTr.Events {
+		ev := &testTr.Events[i]
+		advance(ev.Time)
+		if ev.Kind == trace.Query {
+			verify("pre-search", ev.Node, ev.Time, ev.Terms)
+			s.Search(ev)
+			queries++
+			verify("post-search", ev.Node, ev.Time, ev.Terms)
+			continue
+		}
+		if ev.Kind == trace.Leave {
+			s.NodeLeaving(ev.Time, ev.Node)
+		}
+		sys.ApplyEvent(ev)
+		switch ev.Kind {
+		case trace.ContentAdd:
+			s.ContentChanged(ev.Time, ev.Node, ev.Doc, true)
+		case trace.ContentRemove:
+			s.ContentChanged(ev.Time, ev.Node, ev.Doc, false)
+		case trace.Join:
+			s.NodeJoined(ev.Time, ev.Node)
+		case trace.Leave:
+			s.NodeLeft(ev.Time, ev.Node)
+		}
+		if i%25 == 0 {
+			for _, p := range sample {
+				verify("churn checkpoint", p, ev.Time, nil)
+			}
+		}
+	}
+	if queries == 0 {
+		t.Fatal("trace replayed no queries; the property was never exercised")
+	}
+}

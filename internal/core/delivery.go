@@ -4,6 +4,7 @@ import (
 	"asap/internal/content"
 	"asap/internal/faults"
 	"asap/internal/metrics"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/sim"
 )
@@ -53,12 +54,18 @@ func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting c
 	}
 	switch s.cfg.Delivery {
 	case FLD:
+		td := s.obs.Begin()
 		s.deliverFlood(t, snap, kind, targeting, msgBytes, class, dkey, &dseq)
+		s.obs.End(obs.PDeliverFlood, td)
 	case RW:
+		td := s.obs.Begin()
 		s.deliverWalk(t, snap, kind, targeting, msgBytes, s.walkStarts(snap.src, s.cfg.Walkers), budget, class, dkey, &dseq)
+		s.obs.End(obs.PDeliverWalk, td)
 	case GSAKind:
+		td := s.obs.Begin()
 		seeds := s.liveNeighbors(snap.src)
 		s.deliverWalk(t, snap, kind, targeting, msgBytes, seeds, budget, class, dkey, &dseq)
+		s.obs.End(obs.PDeliverWalk, td)
 	}
 	s.acc.Flush(s.sys, class)
 }
@@ -121,7 +128,7 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 				continue
 			}
 			s.acc.Add(t, msgBytes) // the copy is sent even to nodes that saw it
-			if !s.sys.Arrives(class, it.node, nb, dkey, nextSeq(dseq)) {
+			if !s.sys.Arrives(t, class, it.node, nb, dkey, nextSeq(dseq)) {
 				continue // copy lost; nb may still get one via another edge
 			}
 			if s.stamp[nb] == s.epoch {
@@ -158,7 +165,7 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 	for _, start := range starts {
 		cur, prev := start, snap.src
 		s.acc.Add(t, msgBytes) // source → start
-		if !s.sys.Arrives(class, snap.src, cur, dkey, nextSeq(dseq)) {
+		if !s.sys.Arrives(t, class, snap.src, cur, dkey, nextSeq(dseq)) {
 			continue // seed copy lost: this walker never starts
 		}
 		s.applyAd(t, cur, snap, kind, targeting, dkey, dseq)
@@ -169,7 +176,7 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 			}
 			prev, cur = cur, next
 			s.acc.Add(t, msgBytes)
-			if !s.sys.Arrives(class, prev, cur, dkey, nextSeq(dseq)) {
+			if !s.sys.Arrives(t, class, prev, cur, dkey, nextSeq(dseq)) {
 				break // walker lost in transit
 			}
 			if cur != snap.src {
@@ -279,11 +286,11 @@ func (s *Scheme) applyAd(t sim.Clock, v overlay.NodeID, snap *adSnapshot, kind a
 		return
 	}
 	s.sys.Account(t, metrics.MControl, sim.HeaderBytes)
-	if !s.sys.Arrives(metrics.MControl, v, snap.src, dkey, nextSeq(dseq)) {
+	if !s.sys.Arrives(t, metrics.MControl, v, snap.src, dkey, nextSeq(dseq)) {
 		return // fetch request lost: the reply is never sent
 	}
 	s.sys.Account(t, metrics.MAdFull, cur.wireBytes(adFull))
-	if !s.sys.Arrives(metrics.MAdFull, snap.src, v, dkey, nextSeq(dseq)) {
+	if !s.sys.Arrives(t, metrics.MAdFull, snap.src, v, dkey, nextSeq(dseq)) {
 		return // reply lost: v keeps its stale copy
 	}
 	ns.mu.Lock()

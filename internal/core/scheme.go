@@ -9,6 +9,7 @@ import (
 	"asap/internal/content"
 	"asap/internal/faults"
 	"asap/internal/metrics"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/sim"
 )
@@ -19,6 +20,10 @@ type Scheme struct {
 	cfg   Config
 	sys   *sim.System
 	nodes []nodeState
+
+	// obs caches the system's observability recorder (nil when off) so
+	// search/delivery hot paths skip the System indirection.
+	obs *obs.Recorder
 
 	// wheel[slot] lists nodes whose refresh ad fires at seconds ≡ slot
 	// (mod RefreshPeriodSec), spreading refresh traffic evenly.
@@ -77,6 +82,7 @@ func (s *Scheme) Attach(sys *sim.System) {
 		panic("core: Hierarchical config requires an overlay.SuperPeerKind graph")
 	}
 	s.sys = sys
+	s.obs = sys.Obs()
 	n := sys.NumNodes()
 	s.nodes = make([]nodeState, n)
 	s.rng = rand.New(rand.NewPCG(s.cfg.Seed, 0x5851f42d4c957f2d))

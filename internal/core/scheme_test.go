@@ -312,12 +312,12 @@ func TestHopNeighborhoodRadii(t *testing.T) {
 	}
 	// Each radius gets its own scratch: the returned slices are
 	// scratch-backed, and h1 must survive the h2 traversal.
-	h0, m0 := s.hopNeighborhood(p, 0, s.getScratch())
+	h0, m0 := s.hopNeighborhood(0, p, 0, s.getScratch())
 	if h0 != nil || m0 != 0 {
 		t.Error("h=0 neighbourhood not empty")
 	}
-	h1, m1 := s.hopNeighborhood(p, 1, s.getScratch())
-	h2, m2 := s.hopNeighborhood(p, 2, s.getScratch())
+	h1, m1 := s.hopNeighborhood(0, p, 1, s.getScratch())
+	h2, m2 := s.hopNeighborhood(0, p, 2, s.getScratch())
 	if len(h1) == 0 || m1 != len(h1) {
 		t.Errorf("h=1: %d targets %d msgs", len(h1), m1)
 	}

@@ -8,6 +8,7 @@ import (
 	"asap/internal/content"
 	"asap/internal/faults"
 	"asap/internal/metrics"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/sim"
 	"asap/internal/trace"
@@ -73,7 +74,7 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 		routed := false
 		for a := 0; a < attempts; a++ {
 			if a > 0 {
-				s.sys.Load.CountRetry()
+				s.sys.CountRetry(t0)
 				t0 += 2*uplinkMS + sim.Clock(s.cfg.RetryTimeoutMS)
 			}
 			uplinkBytes += int64(up)
@@ -83,17 +84,18 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 			}
 		}
 		if !routed {
-			s.sys.Load.CountTimeout()
+			s.sys.CountTimeout(t0)
 			return metrics.SearchResult{Bytes: uplinkBytes}
 		}
 		s.sys.Account(t0, metrics.MConfirm, down)
 		uplinkBytes += int64(down)
-		downOK = s.sys.Arrives(metrics.MConfirm, rp, p, sc.fkey, sc.nextSeq())
+		downOK = s.sys.Arrives(t0, metrics.MConfirm, rp, p, sc.fkey, sc.nextSeq())
 		extraHops = 1
 		p = rp
 		t0 += uplinkMS
 	}
 
+	tPhase1 := s.obs.Begin()
 	ns := &s.nodes[p]
 	ns.mu.Lock()
 	if s.cfg.RefreshPeriodSec > 0 {
@@ -111,6 +113,11 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	srcs := ns.scanChains(s.scanClasses(ns, ev.Terms, sc.probes), sc.probes, sc.srcs[:0])
 	ns.mu.Unlock()
 	sc.srcs = srcs
+	if len(srcs) > 0 {
+		s.obs.Count(t0, obs.CCacheHit)
+	} else {
+		s.obs.Count(t0, obs.CCacheMiss)
+	}
 	cands := sc.cands[:0]
 	for _, src := range srcs {
 		cands = append(cands, candidate{src: src, avail: t0, rtt: 2 * sim.Clock(s.sys.Latency(p, src))})
@@ -121,12 +128,13 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	confirmed := sc.confirmed
 	hits, resp, b := s.confirmRound(p, ev.Terms, cands, confirmed, sc)
 	bytes += b + uplinkBytes
+	s.obs.End(obs.PSearchPhase1, tPhase1)
 	// Table I: phase 2 runs when the cache yielded nothing, or when "more
 	// responses [are] needed" than phase 1 confirmed.
 	if hits >= s.cfg.MinResults || s.cfg.AdsRequestHops == 0 {
 		if hits > 0 {
 			if !downOK {
-				s.sys.Load.CountTimeout()
+				s.sys.CountTimeout(t0)
 				return metrics.SearchResult{Bytes: bytes}
 			}
 			return metrics.SearchResult{Success: true, ResponseMS: resp - t0 + 2*uplinkMS, Bytes: bytes, Hops: 1 + extraHops, Hits: hits}
@@ -135,6 +143,7 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	}
 
 	// Phase 2: pull ads from the h-hop neighbourhood and retry.
+	tPhase2 := s.obs.Begin()
 	more, b2 := s.adsRequest(t0, p, sc, sc.probes)
 	bytes += b2
 	fresh := more[:0]
@@ -145,13 +154,14 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	}
 	hits2, resp2, b := s.confirmRound(p, ev.Terms, fresh, confirmed, sc)
 	bytes += b
+	s.obs.End(obs.PSearchPhase2, tPhase2)
 	if hits+hits2 == 0 {
 		return metrics.SearchResult{Bytes: bytes}
 	}
 	if !downOK {
 		// The super peer found results but its reply to the leaf was lost:
 		// the requester observes a failed (timed-out) search.
-		s.sys.Load.CountTimeout()
+		s.sys.CountTimeout(t0)
 		return metrics.SearchResult{Bytes: bytes}
 	}
 	// The first answer wins: a phase-1 hit keeps its one-hop latency even
@@ -208,7 +218,7 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 		var reply sim.Clock
 		for a := 0; a < attempts; a++ {
 			if a > 0 {
-				s.sys.Load.CountRetry()
+				s.sys.CountRetry(sendAt)
 				sendAt += c.rtt + sim.Clock(s.cfg.RetryTimeoutMS)
 			}
 			bytes += int64(cb)
@@ -232,7 +242,7 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 			// Every attempt timed out. Drop the ad so later searches stop
 			// paying for this contact — on-demand liveness detection
 			// complementing refresh-based expiry.
-			s.sys.Load.CountTimeout()
+			s.sys.CountTimeout(sendAt)
 			ns := &s.nodes[p]
 			ns.mu.Lock()
 			ns.drop(c.src)
@@ -240,8 +250,10 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 			continue
 		}
 		if !s.groupMatches(c.src, terms) {
+			s.obs.Count(sendAt, obs.CConfirmNeg)
 			continue // false positive or stale index: negative reply
 		}
+		s.obs.Count(sendAt, obs.CConfirmPos)
 		positives++
 		if best < 0 || reply < best {
 			best = reply
@@ -280,10 +292,10 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 	tA := t
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			s.sys.Load.CountRetry()
+			s.sys.CountRetry(tA)
 			tA += sim.Clock(s.cfg.RetryTimeoutMS)
 		}
-		targets, reqMsgs := s.hopNeighborhood(p, s.cfg.AdsRequestHops, sc)
+		targets, reqMsgs := s.hopNeighborhood(tA, p, s.cfg.AdsRequestHops, sc)
 		if reqMsgs == 0 {
 			break // no live peers to ask; nothing was (or will be) sent
 		}
@@ -334,7 +346,7 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 		}
 	}
 	if sent && !arrived {
-		s.sys.Load.CountTimeout()
+		s.sys.CountTimeout(tA)
 	}
 	sc.offers = offers
 
@@ -381,7 +393,7 @@ type hopTarget struct {
 // of the multi-hop case. The returned slice is backed by sc; the BFS
 // tracks visited nodes in sc's epoch-stamped slices, so the multi-hop
 // case does no per-query map work.
-func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]hopTarget, int) {
+func (s *Scheme) hopNeighborhood(t sim.Clock, p overlay.NodeID, h int, sc *searchScratch) ([]hopTarget, int) {
 	if h <= 0 {
 		return nil, 0
 	}
@@ -392,7 +404,7 @@ func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]
 		for _, nb := range s.sys.G.Neighbors(p) {
 			if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
 				msgs++
-				if !s.sys.Arrives(metrics.MAdsRequest, p, nb, sc.fkey, sc.nextSeq()) {
+				if !s.sys.Arrives(t, metrics.MAdsRequest, p, nb, sc.fkey, sc.nextSeq()) {
 					continue
 				}
 				out = append(out, hopTarget{node: nb, pathLat: sim.Clock(s.sys.Latency(p, nb))})
@@ -416,7 +428,7 @@ func (s *Scheme) hopNeighborhood(p overlay.NodeID, h int, sc *searchScratch) ([]
 					continue
 				}
 				msgs++
-				if !s.sys.Arrives(metrics.MAdsRequest, u, nb, sc.fkey, sc.nextSeq()) {
+				if !s.sys.Arrives(t, metrics.MAdsRequest, u, nb, sc.fkey, sc.nextSeq()) {
 					continue // copy lost: nb may still arrive via another edge
 				}
 				if visited[nb] == epoch {

@@ -60,7 +60,7 @@ func TestLossMatrixWorkerDeterminism(t *testing.T) {
 // TestLossSweepDegradesGracefully: the loss-sweep figure runs, its rate-0
 // column is drop-free, and lossy columns actually drop messages.
 func TestLossSweepDegradesGracefully(t *testing.T) {
-	sw, err := RunLossSweep(ScaleTiny(), []string{"flooding"}, overlay.Crawled, []float64{0, 0.05})
+	sw, err := RunLossSweep(ScaleTiny(), []string{"flooding"}, overlay.Crawled, []float64{0, 0.05}, nil)
 	if err != nil {
 		t.Fatalf("RunLossSweep: %v", err)
 	}
@@ -93,7 +93,7 @@ func TestLossZeroMatchesNoPlane(t *testing.T) {
 		t.Fatalf("lab: %v", err)
 	}
 	for _, scheme := range lossySchemes {
-		bare, err := lab.run(scheme, overlay.Crawled, false, 1)
+		bare, err := lab.run(scheme, overlay.Crawled, false, 1, nil, nil)
 		if err != nil {
 			t.Fatalf("%s bare: %v", scheme, err)
 		}

@@ -12,6 +12,7 @@ import (
 	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/netmodel"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/search"
 	"asap/internal/sim"
@@ -96,28 +97,54 @@ func (l *Lab) topoProto(kind overlay.Kind) *sim.TopoProto {
 // point; multi-worker replay trades bit-for-bit reproducibility for
 // speed, see sim.RunOptions).
 func (l *Lab) Run(schemeName string, topo overlay.Kind) (metrics.Summary, error) {
-	return l.run(schemeName, topo, false, l.Scale.Workers)
+	return l.run(schemeName, topo, false, l.Scale.Workers, nil, nil)
+}
+
+// RunObs is Run with observability attached: the run's per-second series
+// lands in series (keyed "scheme/topology") and its wall-clock phase
+// timing is merged into timing. Either may be nil to skip that layer.
+func (l *Lab) RunObs(schemeName string, topo overlay.Kind, series *obs.Collector, timing *obs.Timing) (metrics.Summary, error) {
+	return l.run(schemeName, topo, false, l.Scale.Workers, series, timing)
 }
 
 // run builds the system — from the cached prototype, or from scratch when
 // fresh is set — and replays the trace under the scheme. The two system
 // paths are bit-for-bit equivalent (see TestMatrixClonedMatchesFresh);
 // fresh exists as the pre-clone baseline for benchmarking.
-func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers int) (metrics.Summary, error) {
+func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers int, series *obs.Collector, timing *obs.Timing) (metrics.Summary, error) {
 	sch, err := l.NewScheme(schemeName)
 	if err != nil {
 		return metrics.Summary{}, err
 	}
+	// The recorder's horizon mirrors the LoadAccount's (see sim.NewSystem)
+	// so the two per-second series line up row for row.
+	var rec *obs.Recorder
+	if series != nil || timing != nil {
+		rec = obs.NewRecorder(int(l.Tr.Span()/1000) + 2)
+	}
 	var sys *sim.System
 	if fresh {
+		t0 := rec.Begin()
 		sys = sim.NewSystem(l.U, l.Tr, topo, l.Net, l.Scale.Seed)
+		rec.End(obs.PTopoGen, t0)
 	} else {
-		sys = l.topoProto(topo).NewSystem(l.U, l.Tr)
+		proto := l.topoProto(topo)
+		t0 := rec.Begin()
+		sys = proto.NewSystem(l.U, l.Tr)
+		rec.End(obs.PTopoClone, t0)
 	}
+	sys.SetObs(rec)
 	if l.Scale.LossRate > 0 {
 		sys.SetFaults(faults.New(faults.Config{Seed: l.Scale.Seed, LossRate: l.Scale.LossRate}))
 	}
-	return sim.Run(sys, sch, sim.RunOptions{Workers: queryWorkers}), nil
+	sum := sim.Run(sys, sch, sim.RunOptions{Workers: queryWorkers})
+	if timing != nil {
+		timing.Merge(rec.Timing())
+	}
+	if series != nil {
+		series.Add(rec.Series(schemeName+"/"+topo.String(), sys.Load))
+	}
+	return sum, nil
 }
 
 // Matrix holds one Summary per scheme × topology.
@@ -131,6 +158,13 @@ type MatrixOptions struct {
 	// cloning the lab's per-kind prototype — the pre-optimization
 	// baseline, kept for benchmarking (cmd/experiments -benchjson).
 	FreshGraphs bool
+	// Series, when non-nil, collects each cell's per-second observability
+	// series (keyed "scheme/topology"). Collection is deterministic: the
+	// merged set is identical for every Workers value.
+	Series *obs.Collector
+	// Timing, when non-nil, accumulates wall-clock phase timing across all
+	// cells (nondeterministic by nature; reporting only).
+	Timing *obs.Timing
 }
 
 // RunMatrix runs every given scheme on every given topology across a
@@ -183,7 +217,7 @@ func (l *Lab) RunMatrixOpt(schemes []string, topos []overlay.Kind, progress func
 	sums := make([]metrics.Summary, len(jobs))
 	errs := make([]error, len(jobs))
 	runJob := func(i int) {
-		sums[i], errs[i] = l.run(jobs[i].scheme, jobs[i].topo, opt.FreshGraphs, 1)
+		sums[i], errs[i] = l.run(jobs[i].scheme, jobs[i].topo, opt.FreshGraphs, 1, opt.Series, opt.Timing)
 	}
 	if workers <= 1 {
 		for i := range jobs {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"asap/internal/metrics"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 )
 
@@ -28,7 +29,10 @@ type LossSweep struct {
 // how gracefully each scheme's success rate and response time degrade as
 // the network loses messages, and what the retry machinery spends to get
 // there.
-func RunLossSweep(sc Scale, schemes []string, topo overlay.Kind, rates []float64) (LossSweep, error) {
+//
+// A non-nil series collects each point's per-second observability series,
+// keyed "scheme/topology/loss=<rate>".
+func RunLossSweep(sc Scale, schemes []string, topo overlay.Kind, rates []float64, series *obs.Collector) (LossSweep, error) {
 	if len(rates) == 0 {
 		return LossSweep{}, fmt.Errorf("experiments: no loss rates")
 	}
@@ -44,7 +48,19 @@ func RunLossSweep(sc Scale, schemes []string, topo overlay.Kind, rates []float64
 			return LossSweep{}, fmt.Errorf("experiments: loss %v: %w", rate, err)
 		}
 		for _, scheme := range schemes {
-			sum, err := lab.Run(scheme, topo)
+			var sum metrics.Summary
+			if series != nil {
+				// Collect into a private sub-collector so the sweep can
+				// suffix the keys with the loss rate before publishing.
+				sub := obs.NewCollector()
+				sum, err = lab.RunObs(scheme, topo, sub, nil)
+				for _, rs := range sub.Runs() {
+					rs.Key = fmt.Sprintf("%s/loss=%g", rs.Key, rate)
+					series.Add(rs)
+				}
+			} else {
+				sum, err = lab.Run(scheme, topo)
+			}
 			if err != nil {
 				return LossSweep{}, err
 			}

@@ -1,0 +1,28 @@
+// Package obs is the simulator's deterministic observability plane.
+//
+// It has three layers, all optional and all inert when absent:
+//
+//   - Sim-time series: a Recorder keeps per-second (simulated clock, never
+//     wall clock) counters for message classes, ads-cache hits and misses,
+//     confirmation outcomes, fault-plane events and search outcomes. After
+//     a run, Recorder.Series joins those counters with the LoadAccount's
+//     per-class byte series into one RunSeries table, emitted as CSV and
+//     JSON (WriteDir). Because every counter is keyed by deterministic
+//     replay time and updated with commutative atomic adds, the series is
+//     byte-identical for any worker count.
+//
+//   - Per-phase wall-clock timing: Begin/End spans around topology build,
+//     trace replay, the two search phases and ad-delivery walks/floods
+//     accumulate into a Timing, merged across runs after RunMatrix and
+//     reported in BENCH_matrix.json. Wall clock is inherently
+//     nondeterministic, so timing never feeds into a RunSeries.
+//
+//   - Profiling hooks: StartProfiles wires -cpuprofile/-memprofile/
+//     -mutexprofile files and an optional net/http/pprof endpoint for the
+//     CLIs.
+//
+// Nil-safety mirrors internal/faults: every Recorder method is valid on a
+// nil receiver and does nothing, so instrumented hot paths cost one nil
+// check — zero allocations — when observability is off (gated by
+// TestObsOffHotPathAllocs in the root package).
+package obs

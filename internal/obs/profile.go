@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires the standard profiling hooks for a CLI run: a CPU
+// profile streamed to cpuPath, heap and mutex profiles written to
+// memPath/mutexPath when the returned stop function runs, and a
+// net/http/pprof endpoint on pprofAddr. Every argument is optional (empty
+// disables that hook); with all four empty the call is a no-op. The stop
+// function is always non-nil and safe to call once.
+func StartProfiles(cpuPath, memPath, mutexPath, pprofAddr string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if pprofAddr != "" {
+		// The endpoint lives for the process; ListenAndServe only returns
+		// on error, which a batch CLI reports but need not die on.
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: pprof endpoint:", err)
+			}
+		}()
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+			runtime.GC() // materialise final heap statistics
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+		if mutexPath != "" {
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				return fmt.Errorf("obs: mutex profile: %w", err)
+			}
+			err = pprof.Lookup("mutex").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("obs: mutex profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"asap/internal/metrics"
+)
+
+// RunSeries is one run's per-second observability table: a fixed column
+// schema over int64 rows, plus the warm-up aggregate and the response-time
+// histogram. Everything in it derives from deterministic simulated time,
+// so two replays of the same run — at any worker count — produce
+// byte-identical series.
+type RunSeries struct {
+	// Key names the run, e.g. "asap-rw/crawled" or
+	// "flooding/crawled/loss=0.02". It doubles as the output file stem.
+	Key string `json:"key"`
+	// Seconds is the number of per-second rows.
+	Seconds int `json:"seconds"`
+	// Columns labels the row fields, in order.
+	Columns []string `json:"columns"`
+	// Warmup aggregates pre-trace (t < 0) activity in the row schema, with
+	// sec = -1 and live = 0.
+	Warmup []int64 `json:"warmup"`
+	// Rows holds one entry per second, each in the Columns schema.
+	Rows [][]int64 `json:"rows"`
+	// LatencyHist is the log2-bucketed response-time histogram of
+	// successful searches: bucket i covers [2^(i-1), 2^i) ms.
+	LatencyHist []int64 `json:"latency_hist_log2_ms"`
+}
+
+// seriesColumns returns the RunSeries column schema: second, live-node
+// count, per-class byte totals, the Counter columns (fault events, cache
+// and confirmation outcomes, search counts, per-class message counts),
+// and the per-second latency/byte sums.
+func seriesColumns() []string {
+	cols := []string{"sec", "live"}
+	for c := 0; c < metrics.NumMsgClasses; c++ {
+		cols = append(cols, "bytes_"+metrics.MsgClass(c).String())
+	}
+	for c := Counter(0); int(c) < NumCounters; c++ {
+		cols = append(cols, c.String())
+	}
+	return append(cols, "latency_sum_ms", "search_bytes")
+}
+
+// Series snapshots the recorder's counters joined with the load account's
+// per-class byte series into one table keyed by key. Call after the run
+// completes (it reads the counters non-atomically consistent: the runner
+// has quiesced).
+func (r *Recorder) Series(key string, load *metrics.LoadAccount) RunSeries {
+	s := RunSeries{
+		Key:         key,
+		Seconds:     r.seconds,
+		Columns:     seriesColumns(),
+		LatencyHist: append([]int64(nil), r.hist[:]...),
+	}
+	row := func(sec int) []int64 {
+		// sec == -1 selects the warm-up aggregate (recorder row 0).
+		rrow, live := sec+1, 0
+		vals := make([]int64, 0, len(s.Columns))
+		if sec >= 0 {
+			live = load.Live(sec)
+		}
+		vals = append(vals, int64(sec), int64(live))
+		for c := 0; c < metrics.NumMsgClasses; c++ {
+			if sec < 0 {
+				vals = append(vals, load.WarmupBytes(metrics.Mask(metrics.MsgClass(c))))
+			} else {
+				vals = append(vals, load.BytesAt(sec, metrics.Mask(metrics.MsgClass(c))))
+			}
+		}
+		for c := Counter(0); int(c) < NumCounters; c++ {
+			vals = append(vals, r.get(rrow, c))
+		}
+		return append(vals, r.latMS[rrow], r.srchB[rrow])
+	}
+	s.Warmup = row(-1)
+	s.Rows = make([][]int64, 0, r.seconds)
+	for sec := 0; sec < r.seconds; sec++ {
+		s.Rows = append(s.Rows, row(sec))
+	}
+	return s
+}
+
+// ColumnIndex returns the row index of the named column, or -1 when the
+// schema has no such column.
+func (s *RunSeries) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CSV renders the series as one CSV document: a header line, the warm-up
+// row, then one row per second.
+func (s *RunSeries) CSV() []byte {
+	var b strings.Builder
+	b.WriteString(strings.Join(s.Columns, ","))
+	b.WriteByte('\n')
+	writeRow := func(vals []int64) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(v, 10))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(s.Warmup)
+	for _, row := range s.Rows {
+		writeRow(row)
+	}
+	return []byte(b.String())
+}
+
+// JSON renders the series as indented JSON.
+func (s *RunSeries) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Collector gathers finished RunSeries across the concurrent runs of a
+// matrix or sweep. A nil collector is valid and ignores Add.
+type Collector struct {
+	mu   sync.Mutex
+	runs []RunSeries
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one finished run's series.
+func (c *Collector) Add(s RunSeries) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs = append(c.runs, s)
+}
+
+// Runs returns the collected series sorted by key — the deterministic
+// merge order, independent of which worker finished first.
+func (c *Collector) Runs() []RunSeries {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]RunSeries(nil), c.runs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// fileStem maps a series key to a safe file name stem.
+func fileStem(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '=':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+}
+
+// WriteDir writes each series as <dir>/<key>.csv and <dir>/<key>.json,
+// creating dir as needed, and returns the written paths in order.
+func WriteDir(dir string, runs []RunSeries) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating %s: %w", dir, err)
+	}
+	var paths []string
+	for i := range runs {
+		s := &runs[i]
+		stem := filepath.Join(dir, fileStem(s.Key))
+		if err := os.WriteFile(stem+".csv", s.CSV(), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, stem+".csv")
+		buf, err := s.JSON()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(stem+".json", buf, 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, stem+".json")
+	}
+	return paths, nil
+}

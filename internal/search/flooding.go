@@ -68,7 +68,7 @@ func (f *Flooding) Search(ev *trace.Event) metrics.SearchResult {
 			reply := it.T + sim.Clock(sys.Latency(it.Node, src))
 			sc.acc.Add(it.T, sim.QueryHitBytes())
 			rseq := sc.nextSeq()
-			if sys.Arrives(metrics.MQueryHit, it.Node, src, sc.fkey, rseq) {
+			if sys.Arrives(it.T, metrics.MQueryHit, it.Node, src, sc.fkey, rseq) {
 				hits++
 				reply += sys.JitterMS(metrics.MQueryHit, it.Node, src, sc.fkey, rseq)
 				if reply < best {
@@ -86,7 +86,7 @@ func (f *Flooding) Search(ev *trace.Event) metrics.SearchResult {
 			}
 			msgs++
 			seq := sc.nextSeq()
-			if !sys.Arrives(metrics.MQuery, it.Node, nb, sc.fkey, seq) {
+			if !sys.Arrives(it.T, metrics.MQuery, it.Node, nb, sc.fkey, seq) {
 				continue // copy lost; nb may still get one via another edge
 			}
 			sc.pq.Push(sim.PQItem{

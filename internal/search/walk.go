@@ -40,7 +40,7 @@ func runWalker(sys *sim.System, sc *scratch, rng *rand.Rand, src overlay.NodeID,
 		sc.times = append(sc.times, t)
 		rec.steps++
 		seq := sc.nextSeq()
-		if !sys.Arrives(metrics.MQuery, src, cur, sc.fkey, seq) {
+		if !sys.Arrives(t, metrics.MQuery, src, cur, sc.fkey, seq) {
 			rec.lost = true // seed copy dropped: the walker never starts
 			return rec
 		}
@@ -62,7 +62,7 @@ func runWalker(sys *sim.System, sc *scratch, rng *rand.Rand, src overlay.NodeID,
 		sc.times = append(sc.times, t)
 		rec.steps++
 		seq := sc.nextSeq()
-		if !sys.Arrives(metrics.MQuery, prev, cur, sc.fkey, seq) {
+		if !sys.Arrives(t, metrics.MQuery, prev, cur, sc.fkey, seq) {
 			rec.lost = true // walker lost in transit
 			break
 		}
@@ -136,7 +136,7 @@ func settleWalk(sys *sim.System, sc *scratch, recs []walkRec, src overlay.NodeID
 		reply := r.matchTime + sim.Clock(sys.Latency(matchNode, src))
 		sc.acc.Add(r.matchTime, sim.QueryHitBytes())
 		rseq := sc.nextSeq()
-		if !sys.Arrives(metrics.MQueryHit, matchNode, src, sc.fkey, rseq) {
+		if !sys.Arrives(r.matchTime, metrics.MQueryHit, matchNode, src, sc.fkey, rseq) {
 			continue // hit reply lost: the requester never hears of it
 		}
 		hits++
@@ -161,11 +161,11 @@ func settleWalk(sys *sim.System, sc *scratch, recs []walkRec, src overlay.NodeID
 			probeAt := sc.times[r.start+s-1]
 			walker := sc.nodes[r.start+s-1]
 			sc.accCtl.Add(probeAt, sim.CheckBackBytes())
-			if !sys.Arrives(metrics.MControl, walker, src, sc.fkey, sc.nextSeq()) {
+			if !sys.Arrives(probeAt, metrics.MControl, walker, src, sc.fkey, sc.nextSeq()) {
 				continue // probe lost: no reply, no instruction
 			}
 			sc.accCtl.Add(probeAt, sim.CheckBackBytes())
-			if !sys.Arrives(metrics.MControl, src, walker, sc.fkey, sc.nextSeq()) {
+			if !sys.Arrives(probeAt, metrics.MControl, src, walker, sc.fkey, sc.nextSeq()) {
 				continue // stop instruction lost: the walker keeps going
 			}
 			if resolved != noResponse && probeAt >= resolved {

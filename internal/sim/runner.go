@@ -6,6 +6,7 @@ import (
 
 	"asap/internal/content"
 	"asap/internal/metrics"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/trace"
 )
@@ -67,7 +68,11 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	rec := sys.Obs()
+	tAttach := rec.Begin()
 	sch.Attach(sys)
+	rec.End(obs.PAttach, tAttach)
+	tReplay := rec.Begin()
 
 	stats := &metrics.SearchStats{}
 	var batch []*trace.Event
@@ -75,7 +80,7 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 		if len(batch) == 0 {
 			return
 		}
-		runBatch(batch, sch, stats, workers)
+		runBatch(batch, sch, stats, workers, rec)
 		batch = batch[:0]
 	}
 
@@ -127,15 +132,21 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 	flush()
 	// Fill the remaining seconds so the load series covers the full span.
 	advance(int64(sys.Load.Seconds()) * 1000)
+	rec.End(obs.PReplay, tReplay)
 
 	return metrics.Summarize(sch.Name(), sys.G.Kind().String(), stats, sys.Load, sch.LoadMask())
 }
 
-// runBatch fans a query batch across workers.
-func runBatch(batch []*trace.Event, sch Scheme, stats *metrics.SearchStats, workers int) {
+// runBatch fans a query batch across workers. Search outcomes land on the
+// observability recorder keyed by the query's issue time — deterministic
+// replay state — so the recorded series is independent of how the batch
+// was split.
+func runBatch(batch []*trace.Event, sch Scheme, stats *metrics.SearchStats, workers int, rec *obs.Recorder) {
 	if workers == 1 || len(batch) == 1 {
 		for _, ev := range batch {
-			stats.Record(sch.Search(ev))
+			r := sch.Search(ev)
+			stats.Record(r)
+			rec.Search(ev.Time, r.Success, r.ResponseMS, r.Bytes)
 		}
 		return
 	}
@@ -154,7 +165,9 @@ func runBatch(batch []*trace.Event, sch Scheme, stats *metrics.SearchStats, work
 		go func(evs []*trace.Event) {
 			defer wg.Done()
 			for _, ev := range evs {
-				stats.Record(sch.Search(ev))
+				r := sch.Search(ev)
+				stats.Record(r)
+				rec.Search(ev.Time, r.Success, r.ResponseMS, r.Bytes)
 			}
 		}(batch[lo:hi])
 	}

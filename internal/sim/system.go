@@ -9,6 +9,7 @@ import (
 	"asap/internal/faults"
 	"asap/internal/metrics"
 	"asap/internal/netmodel"
+	"asap/internal/obs"
 	"asap/internal/overlay"
 	"asap/internal/trace"
 )
@@ -41,6 +42,10 @@ type System struct {
 	// faults is the optional fault-injection plane; nil means a perfectly
 	// reliable network (the paper's model).
 	faults *faults.Plane
+
+	// obs is the optional observability recorder; nil (the default) keeps
+	// the hot path free of recording work (every method is nil-safe).
+	obs *obs.Recorder
 
 	rng *rand.Rand // runner-side mutations (join wiring) only
 }
@@ -298,17 +303,27 @@ func (s *System) SetFaults(p *faults.Plane) { s.faults = p }
 // Faults returns the installed fault plane (nil-safe to use directly).
 func (s *System) Faults() *faults.Plane { return s.faults }
 
+// SetObs installs an observability recorder. Call before Attach/replay;
+// nil (the default) records nothing and costs the hot path one nil check.
+func (s *System) SetObs(r *obs.Recorder) { s.obs = r }
+
+// Obs returns the installed recorder (nil-safe to use directly).
+func (s *System) Obs() *obs.Recorder { return s.obs }
+
 // Arrives decides whether the message identified by (key, seq) on the
-// src→dst link survives the network. Senders account bytes regardless —
-// a dropped message was still sent and still cost bandwidth — so call
-// Arrives after accounting. Lost messages are tallied on the load
-// account. Always true without a fault plane.
-func (s *System) Arrives(c metrics.MsgClass, src, dst overlay.NodeID, key uint64, seq uint32) bool {
+// src→dst link, sent at virtual time t, survives the network. Senders
+// account bytes regardless — a dropped message was still sent and still
+// cost bandwidth — so call Arrives after accounting. Every call counts
+// one sent copy toward the per-class message series, and lost messages
+// are tallied on the load account. Always true without a fault plane.
+func (s *System) Arrives(t Clock, c metrics.MsgClass, src, dst overlay.NodeID, key uint64, seq uint32) bool {
+	s.obs.CountMsg(t, c)
 	if s.faults == nil {
 		return true
 	}
 	if s.faults.Drop(c, src, dst, key, seq) {
 		s.Load.CountDrop()
+		s.obs.Count(t, obs.CDrop)
 		return false
 	}
 	return true
@@ -319,7 +334,21 @@ func (s *System) Arrives(c metrics.MsgClass, src, dst overlay.NodeID, key uint64
 // accounting through a SecAccumulator call Arrives directly instead.
 func (s *System) Deliver(t Clock, c metrics.MsgClass, bytes int, src, dst overlay.NodeID, key uint64, seq uint32) bool {
 	s.Load.Add(t, c, bytes)
-	return s.Arrives(c, src, dst, key, seq)
+	return s.Arrives(t, c, src, dst, key, seq)
+}
+
+// CountRetry records one retransmission provoked by a timeout at virtual
+// time t, on both the load account and the observability series.
+func (s *System) CountRetry(t Clock) {
+	s.Load.CountRetry()
+	s.obs.Count(t, obs.CRetry)
+}
+
+// CountTimeout records one contact abandoned after its last attempt at
+// virtual time t.
+func (s *System) CountTimeout(t Clock) {
+	s.Load.CountTimeout()
+	s.obs.Count(t, obs.CTimeout)
 }
 
 // JitterMS returns the message's extra one-way latency under the fault

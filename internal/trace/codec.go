@@ -100,26 +100,35 @@ func Decode(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := &Trace{Peers: make([]content.PeerID, nPeers), InitialLive: int(initial)}
-	for i := range tr.Peers {
+	// Counts come from the (possibly corrupt) input, so slices grow by
+	// appending against actual data instead of trusting the header with one
+	// huge up-front allocation: a short truncated stream then fails on read,
+	// not in the allocator.
+	tr := &Trace{Peers: make([]content.PeerID, 0, min(int(nPeers), 4096)), InitialLive: int(initial)}
+	for i := uint64(0); i < nPeers; i++ {
 		p, err := readUvarint("peer id", 1<<31)
 		if err != nil {
 			return nil, err
 		}
-		tr.Peers[i] = content.PeerID(p)
+		tr.Peers = append(tr.Peers, content.PeerID(p))
 	}
 	nEvents, err := readUvarint("event count", 1<<30)
 	if err != nil {
 		return nil, err
 	}
-	tr.Events = make([]Event, nEvents)
+	if nEvents > 0 && nPeers == 0 {
+		return nil, fmt.Errorf("trace: %d events but no peers", nEvents)
+	}
+	tr.Events = make([]Event, 0, min(int(nEvents), 4096))
 	tm := int64(0)
-	for i := range tr.Events {
+	for i := uint64(0); i < nEvents; i++ {
 		dt, err := readUvarint("time delta", 1<<40)
 		if err != nil {
 			return nil, err
 		}
-		tm += int64(dt)
+		if tm += int64(dt); tm < 0 {
+			return nil, fmt.Errorf("trace: time overflow at event %d", i)
+		}
 		kind, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading kind: %w", err)
@@ -150,7 +159,7 @@ func Decode(r io.Reader) (*Trace, error) {
 				ev.Terms[j] = content.Keyword(term)
 			}
 		}
-		tr.Events[i] = ev
+		tr.Events = append(tr.Events, ev)
 	}
 	return tr, nil
 }

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"asap/internal/content"
+)
+
+// fuzzSeedTrace is a small hand-built trace exercising every event kind,
+// used to seed the decoder fuzz corpus with structurally valid bytes.
+func fuzzSeedTrace() *Trace {
+	return &Trace{
+		Peers:       []content.PeerID{7, 11, 13, 42},
+		InitialLive: 3,
+		Events: []Event{
+			{Time: 0, Kind: Query, Node: 0, Terms: []content.Keyword{3, 9}},
+			{Time: 500, Kind: ContentAdd, Node: 1, Doc: 17},
+			{Time: 1000, Kind: Leave, Node: 2},
+			{Time: 1000, Kind: Join, Node: 2},
+			{Time: 2500, Kind: ContentRemove, Node: 1, Doc: 17},
+			{Time: 3000, Kind: Query, Node: 3, Terms: []content.Keyword{5}},
+		},
+	}
+}
+
+// FuzzTraceDecode feeds arbitrary bytes to the trace decoder: it must
+// never panic or over-allocate, and anything it accepts must round-trip
+// (encode then decode reproduces the same trace).
+func FuzzTraceDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedTrace().Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("ASAPTR01"))                              // magic only
+	f.Add(append([]byte("ASAPTR01"), 0xff, 0xff, 0xff, 4)) // huge peer count
+	if len(valid.Bytes()) > 12 {
+		f.Add(valid.Bytes()[:12]) // truncated mid-header
+		trunc := append([]byte(nil), valid.Bytes()...)
+		trunc[10] ^= 0x40 // corrupt a count byte
+		f.Add(trunc)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding re-encoded trace: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", tr2, tr)
+		}
+	})
+}
+
+// TestDecodeRejectsHostileHeaders pins the specific header shapes the
+// decoder must reject cheaply (they previously sized allocations straight
+// from the header).
+func TestDecodeRejectsHostileHeaders(t *testing.T) {
+	cases := map[string][]byte{
+		// peer count far beyond the data that follows
+		"huge peer count": append([]byte("ASAPTR01"), 0xff, 0xff, 0xff, 0x7f),
+		// zero peers but a nonzero event count
+		"events without peers": append([]byte("ASAPTR01"), 0, 0, 3),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode accepted hostile input", name)
+		}
+	}
+}
