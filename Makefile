@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race loss-smoke bench-gate bench fuzz-smoke obs-smoke alloc-gate profile check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery fuzz-smoke obs-smoke alloc-gate profile check
 
 build:
 	$(GO) build ./...
@@ -54,9 +54,18 @@ fuzz-smoke:
 obs-smoke:
 	$(GO) test -race -run 'TestObsSeries' ./internal/experiments
 
-# The obs-off hot path must not allocate (gate promised in internal/obs).
+# Delivery-plane micro-benchmarks: the flood/walk/apply hot loops over
+# the CSR live views. One iteration each as a smoke test so a hot-loop
+# regression (or a new allocation — they report -benchmem) fails fast.
+bench-delivery:
+	$(GO) test -run '^$$' -bench 'BenchmarkDeliverFlood|BenchmarkDeliverWalk|BenchmarkApplyAd' \
+		-benchtime 100x -benchmem ./internal/core
+
+# Zero-alloc gates: the obs-off hot path (promised in internal/obs) and
+# the warmed-up delivery hot loops (flood, walk, applyAd).
 alloc-gate:
 	$(GO) test -run 'TestObsOffHotPathAllocs' -count=1 .
+	$(GO) test -run 'TestDeliveryHotPathAllocs' -count=1 ./internal/core
 
 # Profile a small-scale matrix run; inspect with `go tool pprof out/cpu.pb`.
 profile:
@@ -65,4 +74,4 @@ profile:
 		-cpuprofile out/cpu.pb -memprofile out/mem.pb -mutexprofile out/mutex.pb
 	@echo "profiles written to out/{cpu,mem,mutex}.pb"
 
-check: vet fmt test race loss-smoke bench-gate obs-smoke alloc-gate fuzz-smoke
+check: vet fmt test race loss-smoke bench-gate bench-delivery obs-smoke alloc-gate fuzz-smoke

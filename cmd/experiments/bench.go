@@ -43,11 +43,63 @@ type benchRecord struct {
 	// across all matrix cells and workers (topology clone, attach/warm-up,
 	// replay, search phases, delivery). Wall-clock figures: comparable
 	// within one record, not across machines.
-	Phases       []obs.PhaseStat `json:"optimized_phase_timing"`
-	SpeedupX     *float64        `json:"speedup_x"`
-	SpeedupNote  string          `json:"speedup_note,omitempty"`
-	OutputsEqual bool            `json:"outputs_equal"`
-	When         string          `json:"when"`
+	Phases []obs.PhaseStat `json:"optimized_phase_timing"`
+	// DeliveryDelta compares the delivery-plane phases (attach,
+	// deliver_flood, deliver_walk) against the previous record found at the
+	// output path before this run overwrote it — the before/after evidence
+	// for hot-loop optimisations, on the same host. Empty when no previous
+	// record existed.
+	DeliveryDelta []phaseDelta `json:"delivery_phase_delta,omitempty"`
+	SpeedupX      *float64     `json:"speedup_x"`
+	SpeedupNote   string       `json:"speedup_note,omitempty"`
+	OutputsEqual  bool         `json:"outputs_equal"`
+	When          string       `json:"when"`
+}
+
+// phaseDelta is one phase's before/after wall-clock comparison.
+type phaseDelta struct {
+	Phase        string  `json:"phase"`
+	BeforeMS     float64 `json:"before_total_ms"`
+	AfterMS      float64 `json:"after_total_ms"`
+	DeltaPercent float64 `json:"delta_percent"`
+}
+
+// deliveryPhaseDelta loads the previous bench record at path (if any) and
+// compares its delivery-plane phase totals against the current run's.
+func deliveryPhaseDelta(path string, cur []obs.PhaseStat) []phaseDelta {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil // first record at this path: nothing to compare
+	}
+	var prev struct {
+		Phases []obs.PhaseStat `json:"optimized_phase_timing"`
+	}
+	if json.Unmarshal(buf, &prev) != nil || len(prev.Phases) == 0 {
+		return nil
+	}
+	find := func(stats []obs.PhaseStat, name string) (float64, bool) {
+		for _, st := range stats {
+			if st.Phase == name {
+				return st.TotalMS, true
+			}
+		}
+		return 0, false
+	}
+	var out []phaseDelta
+	for _, name := range []string{"attach", "deliver_flood", "deliver_walk"} {
+		before, okB := find(prev.Phases, name)
+		after, okA := find(cur, name)
+		if !okB || !okA || before <= 0 {
+			continue
+		}
+		out = append(out, phaseDelta{
+			Phase:        name,
+			BeforeMS:     before,
+			AfterMS:      after,
+			DeltaPercent: (after - before) / before * 100,
+		})
+	}
+	return out
 }
 
 // timedMatrix replays the full matrix under opt and measures wall time
@@ -125,18 +177,20 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 	for _, per := range optMat {
 		runs += len(per)
 	}
+	phases := timing.Stats()
 	rec := benchRecord{
-		Scale:        sc.Name,
-		Seed:         sc.Seed,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		NumCPU:       runtime.NumCPU(),
-		Runs:         runs,
-		LabBuildMS:   float64(labBuild.Milliseconds()),
-		Baseline:     base,
-		Optimized:    opt,
-		Phases:       timing.Stats(),
-		OutputsEqual: reflect.DeepEqual(baseMat, optMat),
-		When:         time.Now().UTC().Format(time.RFC3339),
+		Scale:         sc.Name,
+		Seed:          sc.Seed,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Runs:          runs,
+		LabBuildMS:    float64(labBuild.Milliseconds()),
+		Baseline:      base,
+		Optimized:     opt,
+		Phases:        phases,
+		DeliveryDelta: deliveryPhaseDelta(path, phases),
+		OutputsEqual:  reflect.DeepEqual(baseMat, optMat),
+		When:          time.Now().UTC().Format(time.RFC3339),
 	}
 	// A speedup ratio only measures the parallel path when the process can
 	// actually run workers concurrently; with one usable CPU the ratio is

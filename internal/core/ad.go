@@ -33,9 +33,23 @@ type cachedAd struct {
 }
 
 // nodeState is the per-node ASAP state: own publication and the ads cache.
-// mu guards cache, published and the topic index against concurrent Search
-// calls; own content bookkeeping (classCnt, dirty) is only touched from
-// runner-serialised callbacks.
+//
+// Two distinct race surfaces exist, and each gets its own mechanism:
+//
+//   - Search vs Search: the runner fans query batches across workers, and
+//     two concurrent searches can touch the same nodeState (a neighbour
+//     serving ads while also running its own query). mu serialises these.
+//   - Delivery vs Search: ad deliveries, publishes and leave/join events
+//     all run on the runner thread, and the runner flushes every query
+//     batch (wg.Wait) before processing a state event — so delivery-path
+//     writes NEVER overlap a search. That single-writer guarantee lets
+//     the delivery path skip mu entirely: the Scheme brackets each
+//     delivery-path write section with beginApply/endApply (one scheme-
+//     level version bump per delivery, not a lock per visited node) and
+//     search-side sections validate the contract via Scheme.checkStable.
+//
+// Own content bookkeeping (classCnt, dirty) is only touched from
+// runner-serialised callbacks and needs neither.
 //
 // The zero value is valid: empty chains are all-zero (1-based links),
 // aggOn=false disables aggregate maintenance, and minSeen=0 makes the
@@ -43,7 +57,9 @@ type cachedAd struct {
 type nodeState struct {
 	mu        sync.Mutex
 	published *adSnapshot
-	cache     map[overlay.NodeID]cachedAd
+	cache     map[overlay.NodeID]*cachedAd
+	free      []*cachedAd      // recycled cache entries (slab-backed)
+	slabbed   bool             // the one-shot entry slab has been carved
 	fifo      []overlay.NodeID // insertion order for eviction
 	classCnt  [content.NumClasses]int32
 	dirty     bool // own content changed since the last publish rebuild
@@ -56,6 +72,7 @@ type nodeState struct {
 	deadElems int32
 	agg       []uint64  // per-class aggregate unions, NumClasses×aggStride
 	aggOn     bool      // aggregates valid (fixed filter geometry)
+	aggStale  bool      // agg lags the cache; scanClasses rebuilds lazily
 	minSeen   sim.Clock // lower bound on cached lastSeen; staleness gate
 }
 
@@ -69,6 +86,42 @@ func (ns *nodeState) topicsFromCounts() content.ClassSet {
 		}
 	}
 	return s
+}
+
+// newEntry returns a zeroed cache entry, recycled or slab-allocated.
+// Entries are map values by pointer so the delivery hot path can bump
+// freshness (and swap snapshots) in place: one map lookup, no map write.
+//
+// The first insertion carves one slab for the node's whole lifetime:
+// evictOver brings the cache back to capacity before store returns, so
+// at most capacity+1 entries are ever live at once, and the slab plus
+// its free list are the node's only two cache-entry allocations however
+// much ad traffic passes through. A capacity raised between calls (unit
+// tests do this) falls back to single-entry allocations once the slab is
+// exhausted.
+func (ns *nodeState) newEntry(capacity int) *cachedAd {
+	if n := len(ns.free); n > 0 {
+		e := ns.free[n-1]
+		ns.free = ns.free[:n-1]
+		return e
+	}
+	if ns.slabbed {
+		return &cachedAd{}
+	}
+	ns.slabbed = true
+	slab := make([]cachedAd, capacity+1)
+	ns.free = make([]*cachedAd, 0, capacity+1)
+	for i := len(slab) - 1; i >= 1; i-- {
+		ns.free = append(ns.free, &slab[i])
+	}
+	return &slab[0]
+}
+
+// freeEntry recycles a removed cache entry, dropping its snapshot
+// reference so the arena does not pin dead ads for the GC.
+func (ns *nodeState) freeEntry(e *cachedAd) {
+	*e = cachedAd{}
+	ns.free = append(ns.free, e)
 }
 
 // storeOutcome reports what a cache store did, so the caller can account
@@ -98,7 +151,6 @@ func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacit
 		if ok && newerVersion(cur.snap.version, snap.version) {
 			// Cached version is newer (reordered delivery); keep it.
 			cur.lastSeen = now
-			ns.cache[snap.src] = cur
 			return storedOK
 		}
 		if ok {
@@ -107,17 +159,19 @@ func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacit
 				if cur.snap.topics != snap.topics {
 					ns.idxRetopic(snap.src, cur.seq, cur.snap.topics, snap.topics)
 				}
-				ns.aggOr(snap)
+				ns.noteAgg(snap, now)
 			}
-			ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now, seq: cur.seq}
+			cur.snap, cur.lastSeen = snap, now
 			return storedOK
 		}
 		seq := ns.nextSeq
 		ns.nextSeq++
-		ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now, seq: seq}
+		e := ns.newEntry(capacity)
+		*e = cachedAd{snap: snap, lastSeen: now, seq: seq}
+		ns.cache[snap.src] = e
 		ns.fifo = append(ns.fifo, snap.src)
 		ns.idxInsert(snap.src, seq, snap.topics)
-		ns.aggOr(snap)
+		ns.noteAgg(snap, now)
 		if now < ns.minSeen {
 			ns.minSeen = now
 		}
@@ -131,15 +185,14 @@ func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacit
 			if cur.snap.topics != snap.topics {
 				ns.idxRetopic(snap.src, cur.seq, cur.snap.topics, snap.topics)
 			}
-			ns.aggOr(snap)
-			ns.cache[snap.src] = cachedAd{snap: snap, lastSeen: now, seq: cur.seq}
+			ns.noteAgg(snap, now)
+			cur.snap, cur.lastSeen = snap, now
 			return storedOK
 		}
 		if newerVersion(snap.version, cur.snap.version) {
 			return storedGap
 		}
 		cur.lastSeen = now
-		ns.cache[snap.src] = cur
 		return storedOK
 	case adRefresh:
 		if !ok {
@@ -147,14 +200,12 @@ func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacit
 		}
 		if cur.snap.version == snap.version {
 			cur.lastSeen = now
-			ns.cache[snap.src] = cur
 			return storedOK
 		}
 		if newerVersion(snap.version, cur.snap.version) {
 			return storedGap
 		}
 		cur.lastSeen = now
-		ns.cache[snap.src] = cur
 		return storedOK
 	}
 	return storedIgnored
@@ -176,6 +227,7 @@ func (ns *nodeState) evictOver(capacity int) {
 		if e, ok := ns.cache[victim]; ok {
 			ns.deadElems += int32(e.snap.topics.Count())
 			delete(ns.cache, victim)
+			ns.freeEntry(e)
 		}
 	}
 	ns.maybeCompact()
@@ -193,6 +245,7 @@ func (ns *nodeState) drop(src overlay.NodeID) {
 	}
 	ns.deadElems += int32(e.snap.topics.Count())
 	delete(ns.cache, src)
+	ns.freeEntry(e)
 	for i, x := range ns.fifo {
 		if x == src {
 			ns.fifo = append(ns.fifo[:i], ns.fifo[i+1:]...)
@@ -216,6 +269,7 @@ func (ns *nodeState) dropStale(deadline sim.Clock) {
 			if e.lastSeen < deadline {
 				ns.deadElems += int32(e.snap.topics.Count())
 				delete(ns.cache, src)
+				ns.freeEntry(e)
 			} else {
 				if e.lastSeen < minSeen {
 					minSeen = e.lastSeen

@@ -136,6 +136,40 @@ func (ns *nodeState) aggOr(snap *adSnapshot) {
 	}
 }
 
+// noteAgg keeps the aggregates current after a cache insert/replace. A
+// warm-up store (now < 0) only marks them stale: the warm-up flood pushes
+// far more ads through each node than its cache keeps, so folding every
+// insertion eagerly mostly unions filters that are evicted again before
+// anything reads the aggregate. scanClasses rebuilds from the surviving
+// entries on first use — the same monotone-superset property, a fraction
+// of the union work, and one rebuild per node per run (replay-time stores
+// go back to incremental folding).
+func (ns *nodeState) noteAgg(snap *adSnapshot, now sim.Clock) {
+	if now < 0 {
+		ns.aggStale = true
+		return
+	}
+	ns.aggOr(snap)
+}
+
+// aggRebuild reconstructs the per-class aggregate unions from the live
+// cache, clearing the stale mark. Union is commutative, so cache iteration
+// order does not matter; the result depends only on the cache contents.
+func (ns *nodeState) aggRebuild() {
+	ns.aggStale = false
+	if !ns.aggOn {
+		return
+	}
+	if ns.agg == nil {
+		ns.agg = make([]uint64, content.NumClasses*aggStride)
+	} else {
+		clear(ns.agg)
+	}
+	for _, e := range ns.cache {
+		ns.aggOr(e.snap)
+	}
+}
+
 // maybeCompact rebuilds the posting arena once dead (unlinked or
 // invalidated) elements dominate it, bounding index memory under cache
 // churn. Rebuilding in fifo order restores the ascending-seq invariant.
@@ -247,9 +281,19 @@ func (ns *nodeState) serveAds(buf []*adSnapshot, interests content.ClassSet, sta
 // unions, so those unions pass the probes too and its chains are scanned —
 // the candidate set is exactly the linear scan's, false positives
 // included. Without aggregates (variable filter geometries, or an empty
-// cache history) every class is scanned.
+// cache history) every class is scanned. The scan-set choice never changes
+// search output, only how much of the cache is touched: any entry whose
+// filter passes the probes has every one of its topic-class unions passing
+// too (its filter is a subset of each), so its canonical chain — and with
+// it the candidate set and order — is the same under any scan superset.
 func (s *Scheme) scanClasses(ns *nodeState, terms []content.Keyword, probes []bloom.Probe) content.ClassSet {
-	if !ns.aggOn || ns.agg == nil {
+	if !ns.aggOn {
+		return allClasses
+	}
+	if ns.aggStale {
+		ns.aggRebuild()
+	}
+	if ns.agg == nil {
 		return allClasses
 	}
 	var q content.ClassSet

@@ -77,7 +77,7 @@ func churnStep(rng *rand.Rand, ns *nodeState, vers map[overlay.NodeID]uint16, no
 // same order after a deterministic sort.
 func TestScanChainsMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 23))
-	ns := &nodeState{cache: make(map[overlay.NodeID]cachedAd), aggOn: true, minSeen: maxClock}
+	ns := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), aggOn: true, minSeen: maxClock}
 	vers := make(map[overlay.NodeID]uint16)
 	const capacity = 40
 
@@ -134,7 +134,7 @@ func TestScanChainsMatchesLinearScan(t *testing.T) {
 // reply caps.
 func TestServeAdsMatchesFifoWalk(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 17))
-	ns := &nodeState{cache: make(map[overlay.NodeID]cachedAd), aggOn: true, minSeen: maxClock}
+	ns := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), aggOn: true, minSeen: maxClock}
 	vers := make(map[overlay.NodeID]uint16)
 	const capacity = 40
 
@@ -188,8 +188,8 @@ func TestServeAdsMatchesFifoWalk(t *testing.T) {
 // state versus sweeping unconditionally on every query.
 func TestDropStaleWatermarkGateEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 9))
-	gated := &nodeState{cache: make(map[overlay.NodeID]cachedAd), minSeen: maxClock}
-	ref := &nodeState{cache: make(map[overlay.NodeID]cachedAd), minSeen: maxClock}
+	gated := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), minSeen: maxClock}
+	ref := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), minSeen: maxClock}
 	const capacity = 25
 
 	for i := 0; i < 3000; i++ {

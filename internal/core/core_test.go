@@ -79,7 +79,7 @@ func snap(src overlay.NodeID, version uint16, topics content.ClassSet) *adSnapsh
 }
 
 func newNS() *nodeState {
-	return &nodeState{cache: make(map[overlay.NodeID]cachedAd)}
+	return &nodeState{cache: make(map[overlay.NodeID]*cachedAd)}
 }
 
 func TestStoreFullAndReplace(t *testing.T) {

@@ -29,6 +29,10 @@ func nextSeq(p *uint32) uint32 {
 // on the wire either way — so ad coverage degrades under loss while ad
 // traffic does not.
 func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet) {
+	// One seqlock section brackets the whole delivery (every applyAd within
+	// it included); searches cannot run concurrently with any of it.
+	s.beginApply()
+	defer s.endApply()
 	msgBytes := snap.wireBytes(kind)
 	var class metrics.MsgClass
 	switch kind {
@@ -72,7 +76,10 @@ func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting c
 
 // walkStarts returns w walker start points: the source's live neighbours,
 // cycled if w exceeds the neighbourhood. The result aliases s.wlkBuf and
-// is valid until the next call.
+// is valid until the next call. It copies out of the live view that
+// liveNeighbors returns, never into it, so a liveNeighbors result held by
+// a caller (the GSA seed path) survives a walkStarts call unclobbered —
+// see TestWalkStartsLiveViewAliasing.
 func (s *Scheme) walkStarts(src overlay.NodeID, w int) []overlay.NodeID {
 	live := s.liveNeighbors(src)
 	if len(live) == 0 {
@@ -88,17 +95,13 @@ func (s *Scheme) walkStarts(src overlay.NodeID, w int) []overlay.NodeID {
 
 // liveNeighbors returns n's live neighbours; in hierarchical mode only
 // super-peer neighbours qualify (ads travel the backbone; leaves neither
-// forward nor cache). The result aliases s.nbrBuf and is valid until the
-// next call; deliveries run on the runner thread only.
+// forward nor cache). The result is the overlay's packed live view — no
+// copy, no per-edge liveness test — shared with the graph and valid until
+// the next overlay mutation. It does NOT alias s.wlkBuf: walkStarts may
+// copy from it into wlkBuf while a caller still holds it (the GSA seed
+// path does exactly that across a whole delivery).
 func (s *Scheme) liveNeighbors(n overlay.NodeID) []overlay.NodeID {
-	out := s.nbrBuf[:0]
-	for _, nb := range s.sys.G.Neighbors(n) {
-		if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
-			out = append(out, nb)
-		}
-	}
-	s.nbrBuf = out
-	return out
+	return s.eligibleView(n)
 }
 
 // deliverFlood floods the ad with TTL FloodTTL and duplicate suppression;
@@ -115,6 +118,7 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 	}
 	queue := append(s.floodQ[:0], floodItem{snap.src, 0})
 	s.stamp[snap.src] = s.epoch
+	faultFree := s.sys.FaultFree()
 	for i := 0; i < len(queue); i++ {
 		it := queue[i]
 		if it.node != snap.src {
@@ -123,10 +127,27 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 		if it.hop >= s.cfg.FloodTTL {
 			continue
 		}
-		for _, nb := range s.sys.G.Neighbors(it.node) {
-			if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
-				continue
+		// The eligible view is pre-filtered: no per-edge Alive or
+		// cacheEligible test on the flood's inner loop.
+		view := s.eligibleView(it.node)
+		if faultFree {
+			// No fault plane: every copy arrives and no drop-seq stream is
+			// consumed, so accounting and message counting batch to one
+			// call per node and the per-edge work is just the
+			// duplicate-suppression stamp.
+			if len(view) > 0 {
+				s.acc.Add(t, msgBytes*len(view))
+				s.obs.CountMsgN(int64(t), class, len(view))
 			}
+			for _, nb := range view {
+				if s.stamp[nb] != s.epoch {
+					s.stamp[nb] = s.epoch
+					queue = append(queue, floodItem{nb, it.hop + 1})
+				}
+			}
+			continue
+		}
+		for _, nb := range view {
 			s.acc.Add(t, msgBytes) // the copy is sent even to nodes that saw it
 			if !s.sys.Arrives(t, class, it.node, nb, dkey, nextSeq(dseq)) {
 				continue // copy lost; nb may still get one via another edge
@@ -162,6 +183,32 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 	if perWalker < 1 {
 		perWalker = 1
 	}
+	if s.sys.FaultFree() {
+		// No fault plane: no copy is ever lost, so walkers never die in
+		// transit and the per-step Arrives calls (and the drop-seq stream
+		// they would consume) vanish; accounting batches to one call per
+		// delivery — every step happens at the same virtual time t.
+		sent := 0
+		for _, start := range starts {
+			sent++
+			s.applyAd(t, start, snap, kind, targeting, dkey, dseq)
+			cur, prev := start, snap.src
+			for step := 1; step < perWalker; step++ {
+				next := s.pickNextHop(cur, prev, targeting)
+				if next < 0 {
+					break
+				}
+				prev, cur = cur, next
+				sent++
+				if cur != snap.src {
+					s.applyAd(t, cur, snap, kind, targeting, dkey, dseq)
+				}
+			}
+		}
+		s.acc.Add(t, msgBytes*sent)
+		s.obs.CountMsgN(int64(t), class, sent)
+		return
+	}
 	for _, start := range starts {
 		cur, prev := start, snap.src
 		s.acc.Add(t, msgBytes) // source → start
@@ -194,10 +241,10 @@ func (s *Scheme) pickNextHop(cur, prev overlay.NodeID, targeting content.ClassSe
 	if !s.cfg.BiasedDelivery {
 		return s.pickLiveNeighbor(cur, prev)
 	}
-	nbs := s.sys.G.Neighbors(cur)
+	nbs := s.eligibleView(cur)
 	interested, other := 0, 0
 	for _, nb := range nbs {
-		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) || nb == prev {
+		if nb == prev {
 			continue
 		}
 		if s.groupInterests(nb).Intersects(targeting) {
@@ -216,7 +263,7 @@ func (s *Scheme) pickNextHop(cur, prev overlay.NodeID, targeting content.ClassSe
 	}
 	k := s.rng.IntN(pool)
 	for _, nb := range nbs {
-		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) || nb == prev {
+		if nb == prev {
 			continue
 		}
 		if s.groupInterests(nb).Intersects(targeting) != wantInterested {
@@ -232,35 +279,34 @@ func (s *Scheme) pickNextHop(cur, prev overlay.NodeID, targeting content.ClassSe
 
 // pickLiveNeighbor picks a uniformly random live neighbour of cur,
 // avoiding an immediate return to prev when alternatives exist.
+// Adjacency holds no duplicate edges, so prev appears at most once: one
+// early-exiting indexOf scan replaces the count-then-select double scan,
+// with the same rng draw and the same pick as selecting the k-th
+// non-prev element in view order.
 func (s *Scheme) pickLiveNeighbor(cur, prev overlay.NodeID) overlay.NodeID {
-	nbs := s.sys.G.Neighbors(cur)
-	liveN, liveNotPrev := 0, 0
-	for _, nb := range nbs {
-		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
-			continue
-		}
-		liveN++
-		if nb != prev {
-			liveNotPrev++
+	nbs := s.eligibleView(cur)
+	if len(nbs) == 0 {
+		return -1
+	}
+	pi := -1
+	for i, nb := range nbs {
+		if nb == prev {
+			pi = i
+			break
 		}
 	}
-	if liveN == 0 {
-		return -1
+	liveNotPrev := len(nbs)
+	if pi >= 0 {
+		liveNotPrev--
 	}
 	if liveNotPrev == 0 {
 		return prev
 	}
 	k := s.rng.IntN(liveNotPrev)
-	for _, nb := range nbs {
-		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) || nb == prev {
-			continue
-		}
-		if k == 0 {
-			return nb
-		}
-		k--
+	if pi >= 0 && k >= pi {
+		k++
 	}
-	return -1
+	return nbs[k]
 }
 
 // applyAd lets node v react to an arriving ad: cache it when interesting,
@@ -273,9 +319,7 @@ func (s *Scheme) applyAd(t sim.Clock, v overlay.NodeID, snap *adSnapshot, kind a
 		return
 	}
 	ns := &s.nodes[v]
-	ns.mu.Lock()
 	outcome := ns.store(snap, kind, t, s.cfg.CacheCapacity)
-	ns.mu.Unlock()
 	if outcome != storedGap {
 		return
 	}
@@ -293,7 +337,5 @@ func (s *Scheme) applyAd(t sim.Clock, v overlay.NodeID, snap *adSnapshot, kind a
 	if !s.sys.Arrives(t, metrics.MAdFull, snap.src, v, dkey, nextSeq(dseq)) {
 		return // reply lost: v keeps its stale copy
 	}
-	ns.mu.Lock()
 	ns.store(cur, adFull, t, s.cfg.CacheCapacity)
-	ns.mu.Unlock()
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"asap/internal/metrics"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// firstPublished returns the lowest-numbered node's published snapshot
+// after warm-up.
+func firstPublished(tb testing.TB, s *Scheme) *adSnapshot {
+	tb.Helper()
+	for v := 0; v < s.sys.NumNodes(); v++ {
+		if snap := s.publishedSnapshot(overlay.NodeID(v)); snap != nil {
+			return snap
+		}
+	}
+	tb.Fatal("no node published an ad during warm-up")
+	return nil
+}
+
+// TestWalkStartsLiveViewAliasingContract pins the buffer-aliasing contract
+// of the delivery helpers: liveNeighbors returns the overlay's shared live
+// view (stable until the next graph mutation), walkStarts returns s.wlkBuf
+// (stable until the next walkStarts call), and the two never clobber each
+// other — the GSA seed path holds a liveNeighbors result across an entire
+// delivery, and the RW path holds wlkBuf across deliverWalk's internal
+// liveNeighbors/pickNextHop calls.
+func TestWalkStartsLiveViewAliasingContract(t *testing.T) {
+	s, _ := attach(t, GSAKind)
+	var a, b overlay.NodeID = -1, -1
+	for v := 0; v < s.sys.NumNodes(); v++ {
+		if len(s.liveNeighbors(overlay.NodeID(v))) > 0 {
+			if a < 0 {
+				a = overlay.NodeID(v)
+			} else {
+				b = overlay.NodeID(v)
+				break
+			}
+		}
+	}
+	if b < 0 {
+		t.Fatal("need two nodes with live neighbours")
+	}
+
+	live := s.liveNeighbors(a)
+	liveCopy := slices.Clone(live)
+	starts := s.walkStarts(b, s.cfg.Walkers)
+	startsCopy := slices.Clone(starts)
+
+	// walkStarts(b) ran liveNeighbors(b) internally; the held view of a's
+	// neighbourhood must not move.
+	if !slices.Equal(live, liveCopy) {
+		t.Fatal("walkStarts clobbered a held liveNeighbors result")
+	}
+
+	// A full walk delivery while both buffers are held: it runs
+	// liveNeighbors (GSA seeds), pickNextHop and applyAd — but never
+	// walkStarts, so both held slices must come through intact.
+	snap := firstPublished(t, s)
+	s.deliver(0, snap, adRefresh, snap.topics)
+
+	if !slices.Equal(live, liveCopy) {
+		t.Fatal("a delivery invalidated a held live view without any overlay mutation")
+	}
+	if !slices.Equal(starts, startsCopy) {
+		t.Fatal("a walk delivery clobbered wlkBuf without calling walkStarts")
+	}
+}
+
+// TestDeliveryHotPathAllocs is the delivery-side zero-alloc gate (wired
+// into `make alloc-gate`): after one warm-up pass grows the reusable
+// buffers, refresh deliveries over flood and walk — and a single applyAd —
+// must not allocate at all.
+func TestDeliveryHotPathAllocs(t *testing.T) {
+	fld, _ := attach(t, FLD)
+	fsnap := firstPublished(t, fld)
+	var dseq uint32
+	flood := func() {
+		dseq = 0
+		fld.deliverFlood(0, fsnap, adRefresh, fsnap.topics, fsnap.wireBytes(adRefresh), metrics.MAdRefresh, 1, &dseq)
+		fld.acc.Flush(fld.sys, metrics.MAdRefresh)
+	}
+	flood()
+	if a := testing.AllocsPerRun(10, flood); a != 0 {
+		t.Errorf("deliverFlood allocates %.1f times per delivery, want 0", a)
+	}
+
+	rw, _ := attach(t, RW)
+	wsnap := firstPublished(t, rw)
+	budget := max(1, wsnap.topics.Count()) * rw.cfg.BudgetUnit
+	walk := func() {
+		dseq = 0
+		starts := rw.walkStarts(wsnap.src, rw.cfg.Walkers)
+		rw.deliverWalk(0, wsnap, adRefresh, wsnap.topics, wsnap.wireBytes(adRefresh), starts, budget, metrics.MAdRefresh, 1, &dseq)
+		rw.acc.Flush(rw.sys, metrics.MAdRefresh)
+	}
+	walk()
+	if a := testing.AllocsPerRun(10, walk); a != 0 {
+		t.Errorf("deliverWalk allocates %.1f times per delivery, want 0", a)
+	}
+
+	// A refresh re-application to one already-caching node.
+	var target overlay.NodeID = -1
+	for v := 0; v < rw.sys.NumNodes(); v++ {
+		if overlay.NodeID(v) != wsnap.src && rw.HasCachedAd(overlay.NodeID(v), wsnap.src) {
+			target = overlay.NodeID(v)
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("warm-up cached the ad nowhere")
+	}
+	apply := func() {
+		dseq = 0
+		rw.applyAd(0, target, wsnap, adRefresh, wsnap.topics, 1, &dseq)
+	}
+	apply()
+	if a := testing.AllocsPerRun(10, apply); a != 0 {
+		t.Errorf("applyAd allocates %.1f times per application, want 0", a)
+	}
+}
+
+func benchScheme(b *testing.B, d DeliveryKind) *Scheme {
+	b.Helper()
+	sys := sim.NewSystem(testU, testTr, overlay.Random, testNet, 1)
+	s := New(testConfig(d))
+	s.Attach(sys)
+	return s
+}
+
+func BenchmarkDeliverFlood(b *testing.B) {
+	s := benchScheme(b, FLD)
+	snap := firstPublished(b, s)
+	msgBytes := snap.wireBytes(adRefresh)
+	var dseq uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dseq = 0
+		s.deliverFlood(0, snap, adRefresh, snap.topics, msgBytes, metrics.MAdRefresh, 1, &dseq)
+		s.acc.Flush(s.sys, metrics.MAdRefresh)
+	}
+}
+
+func BenchmarkDeliverWalk(b *testing.B) {
+	s := benchScheme(b, RW)
+	snap := firstPublished(b, s)
+	msgBytes := snap.wireBytes(adRefresh)
+	budget := max(1, snap.topics.Count()) * s.cfg.BudgetUnit
+	var dseq uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dseq = 0
+		starts := s.walkStarts(snap.src, s.cfg.Walkers)
+		s.deliverWalk(0, snap, adRefresh, snap.topics, msgBytes, starts, budget, metrics.MAdRefresh, 1, &dseq)
+		s.acc.Flush(s.sys, metrics.MAdRefresh)
+	}
+}
+
+func BenchmarkApplyAd(b *testing.B) {
+	s := benchScheme(b, RW)
+	snap := firstPublished(b, s)
+	var target overlay.NodeID = -1
+	for v := 0; v < s.sys.NumNodes(); v++ {
+		if overlay.NodeID(v) != snap.src && s.HasCachedAd(overlay.NodeID(v), snap.src) {
+			target = overlay.NodeID(v)
+			break
+		}
+	}
+	if target < 0 {
+		b.Fatal("warm-up cached the ad nowhere")
+	}
+	var dseq uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dseq = 0
+		s.applyAd(0, target, snap, adRefresh, snap.topics, 1, &dseq)
+	}
+}

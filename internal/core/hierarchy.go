@@ -27,6 +27,20 @@ func (s *Scheme) cacheEligible(v overlay.NodeID) bool {
 	return !s.cfg.Hierarchical || s.sys.G.IsSuper(v)
 }
 
+// eligibleView returns n's live, cache-eligible neighbours as the
+// overlay's incrementally maintained packed view — all live neighbours in
+// flat mode, live super-peer neighbours in hierarchical mode. The view
+// preserves exact adjacency order, so it is element-for-element identical
+// to the old `Alive(nb) && cacheEligible(nb)` filtered scan and every RNG
+// draw consuming it replays byte-identically. The slice is shared with the
+// graph and valid until the next overlay mutation.
+func (s *Scheme) eligibleView(n overlay.NodeID) []overlay.NodeID {
+	if s.cfg.Hierarchical {
+		return s.sys.G.LiveSuperNeighbors(n)
+	}
+	return s.sys.G.LiveNeighbors(n)
+}
+
 // eachGroupMember invokes fn for every live node whose content rp
 // represents: rp itself plus, in hierarchical mode, its attached leaves.
 func (s *Scheme) eachGroupMember(rp overlay.NodeID, fn func(overlay.NodeID) bool) {

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"asap/internal/bloom"
 	"asap/internal/content"
@@ -36,8 +38,16 @@ type Scheme struct {
 	stamp  []uint32
 	epoch  uint32
 	floodQ []floodItem
-	nbrBuf []overlay.NodeID
 	wlkBuf []overlay.NodeID
+
+	// applyVer is the delivery-plane seqlock: odd while a runner-thread
+	// write section (a delivery, a publish, a graceful-leave eviction) is
+	// open. The runner's query-batch barrier guarantees such sections never
+	// overlap a search, so per-node state needs no lock on the apply path;
+	// search-side critical sections assert the guarantee via checkStable.
+	// One version bump per section — not per visited node — keeps the
+	// cost off the delivery hot loop entirely.
+	applyVer atomic.Uint32
 
 	// scratch pools per-query working sets; see searchScratch.
 	scratch sync.Pool
@@ -93,7 +103,7 @@ func (s *Scheme) Attach(sys *sim.System) {
 
 	for v := 0; v < n; v++ {
 		ns := &s.nodes[v]
-		ns.cache = make(map[overlay.NodeID]cachedAd, min(s.cfg.CacheCapacity, 128))
+		ns.cache = make(map[overlay.NodeID]*cachedAd, min(s.cfg.CacheCapacity, 128))
 		ns.aggOn = !s.cfg.VariableFilters // unions need one filter geometry
 		ns.minSeen = maxClock
 		ns.dirty = true
@@ -105,15 +115,84 @@ func (s *Scheme) Attach(sys *sim.System) {
 			s.wheel[slot] = append(s.wheel[slot], overlay.NodeID(v))
 		}
 	}
+	// Warm-up: every initially-live representative publishes a full ad.
+	// Filter construction dominates the publish cost and is a pure read of
+	// immutable system state, so the builds fan out across GOMAXPROCS
+	// workers; publication and delivery stay serial on this thread, in
+	// node order, so the warm-up replays byte-identically to the old
+	// all-serial loop.
+	reps := make([]overlay.NodeID, 0, sys.InitialLive())
 	for v := 0; v < sys.InitialLive(); v++ {
 		node := overlay.NodeID(v)
 		if s.repr(node) != node {
 			continue // leaves are represented by their super peer
 		}
-		if snap := s.publish(node); snap != nil {
+		reps = append(reps, node)
+	}
+	filters := s.buildFiltersParallel(reps)
+	for i, node := range reps {
+		if snap := s.publishWith(node, filters[i]); snap != nil {
 			s.deliver(-1, snap, adFull, snap.topics)
 		}
 	}
+}
+
+// beginApply opens a delivery-path write section on the runner thread:
+// the version goes odd. The single-writer guarantee (the runner drains
+// query batches before any state event) makes a plain load-then-store
+// sufficient — there is no competing writer to lose an increment to.
+func (s *Scheme) beginApply() {
+	s.applyVer.Store(s.applyVer.Load() + 1)
+}
+
+// endApply closes a delivery-path write section: the version returns to
+// even, publishing the new state.
+func (s *Scheme) endApply() {
+	s.applyVer.Store(s.applyVer.Load() + 1)
+}
+
+// checkStable validates the seqlock contract from the search side: a
+// search holding a nodeState's mu must never observe an open delivery
+// write section. An odd version here means the runner's flush barrier was
+// breached — state corruption, not a recoverable condition — so it panics.
+func (s *Scheme) checkStable() {
+	if s.applyVer.Load()&1 != 0 {
+		panic("core: delivery write overlapped a search (runner barrier breached)")
+	}
+}
+
+// buildFiltersParallel builds the given nodes' content filters across
+// GOMAXPROCS workers. Each filter is built whole by one worker from
+// deterministic per-node state, so the result is independent of how nodes
+// land on workers — the merge is simply indexed assignment. Below two
+// workers (or two nodes) it builds inline: on a single-CPU host the
+// fan-out would only add scheduling overhead.
+func (s *Scheme) buildFiltersParallel(nodes []overlay.NodeID) []*bloom.Filter {
+	filters := make([]*bloom.Filter, len(nodes))
+	workers := min(runtime.GOMAXPROCS(0), len(nodes))
+	if workers <= 1 {
+		for i, n := range nodes {
+			filters[i] = s.buildFilter(n)
+		}
+		return filters
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nodes) {
+					return
+				}
+				filters[i] = s.buildFilter(nodes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return filters
 }
 
 // publish materialises node n's current ad snapshot and installs it as the
@@ -122,6 +201,13 @@ func (s *Scheme) Attach(sys *sim.System) {
 // having nothing to advertise"), or when nothing changed since the last
 // publication.
 func (s *Scheme) publish(n overlay.NodeID) *adSnapshot {
+	return s.publishWith(n, nil)
+}
+
+// publishWith is publish with an optionally prebuilt content filter
+// (Attach's parallel warm-up builds them ahead of the serial
+// publication loop); prebuilt == nil builds the filter inline.
+func (s *Scheme) publishWith(n overlay.NodeID, prebuilt *bloom.Filter) *adSnapshot {
 	ns := &s.nodes[n]
 	// Flat nodes see every content change as an event, so an unchanged
 	// dirty bit proves the rebuilt filter and topics would equal the
@@ -132,14 +218,19 @@ func (s *Scheme) publish(n overlay.NodeID) *adSnapshot {
 		return nil
 	}
 	ns.dirty = false
-	f := s.buildFilter(n)
+	f := prebuilt
+	if f == nil {
+		f = s.buildFilter(n)
+	}
 	topics := ns.topicsFromCounts()
 	if s.cfg.Hierarchical {
 		topics = s.groupTopics(n)
 	}
 
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
+	// publish runs on the runner thread only (Attach, event callbacks,
+	// Tick), so the published-snapshot swap uses the delivery seqlock.
+	s.beginApply()
+	defer s.endApply()
 	old := ns.published
 	if old == nil && f.Empty() {
 		return nil
@@ -206,11 +297,11 @@ func (s *Scheme) buildFilter(n overlay.NodeID) *bloom.Filter {
 }
 
 // publishedSnapshot returns node n's current published ad (nil if none).
+// Runner thread only — every caller (applyAd's gap fetch, Tick's refresh,
+// republishAndDeliver) runs behind the query-batch barrier, so the read
+// needs no lock; searches read `published` themselves under mu.
 func (s *Scheme) publishedSnapshot(n overlay.NodeID) *adSnapshot {
-	ns := &s.nodes[n]
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	return ns.published
+	return s.nodes[n].published
 }
 
 // ContentChanged implements sim.Scheme: the node republishes and delivers
@@ -265,17 +356,13 @@ func (s *Scheme) NodeLeaving(t sim.Clock, n overlay.NodeID) {
 	}
 	gkey := faults.Fold(faults.Key(int64(t), n), 2)
 	var gseq uint32
-	for _, nb := range s.sys.G.Neighbors(n) {
-		if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
-			continue
-		}
+	s.beginApply()
+	defer s.endApply()
+	for _, nb := range s.eligibleView(n) {
 		if !s.sys.Deliver(t, metrics.MControl, sim.HeaderBytes, n, nb, gkey, nextSeq(&gseq)) {
 			continue // goodbye lost: nb finds out the hard way
 		}
-		ns := &s.nodes[nb]
-		ns.mu.Lock()
-		ns.drop(n)
-		ns.mu.Unlock()
+		s.nodes[nb].drop(n)
 	}
 }
 

@@ -98,6 +98,7 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 	tPhase1 := s.obs.Begin()
 	ns := &s.nodes[p]
 	ns.mu.Lock()
+	s.checkStable()
 	if s.cfg.RefreshPeriodSec > 0 {
 		// The minSeen watermark bounds every entry's lastSeen from below,
 		// so the expiry sweep runs only when something can actually expire.
@@ -245,6 +246,7 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 			s.sys.CountTimeout(sendAt)
 			ns := &s.nodes[p]
 			ns.mu.Lock()
+			s.checkStable()
 			ns.drop(c.src)
 			ns.mu.Unlock()
 			continue
@@ -311,6 +313,7 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 		for _, tg := range targets {
 			q := &s.nodes[tg.node]
 			q.mu.Lock()
+			s.checkStable()
 			serve := sc.serve[:0]
 			if pub := q.published; pub != nil && s.cfg.MaxAdsPerReply > 0 &&
 				pub.src != p && pub.topics.Intersects(interests) &&
@@ -356,6 +359,7 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 	cands := sc.cands[:0]
 	seen := sc.seen
 	ns.mu.Lock()
+	s.checkStable()
 	for _, of := range offers {
 		ns.store(of.snap, adFull, of.avail, s.cfg.CacheCapacity)
 		if probes != nil && of.snap.filter.ContainsAllProbes(probes) {
@@ -401,14 +405,12 @@ func (s *Scheme) hopNeighborhood(t sim.Clock, p overlay.NodeID, h int, sc *searc
 	if h == 1 {
 		// The common case: direct neighbours, one request each.
 		msgs := 0
-		for _, nb := range s.sys.G.Neighbors(p) {
-			if s.sys.G.Alive(nb) && s.cacheEligible(nb) {
-				msgs++
-				if !s.sys.Arrives(t, metrics.MAdsRequest, p, nb, sc.fkey, sc.nextSeq()) {
-					continue
-				}
-				out = append(out, hopTarget{node: nb, pathLat: sim.Clock(s.sys.Latency(p, nb))})
+		for _, nb := range s.eligibleView(p) {
+			msgs++
+			if !s.sys.Arrives(t, metrics.MAdsRequest, p, nb, sc.fkey, sc.nextSeq()) {
+				continue
 			}
+			out = append(out, hopTarget{node: nb, pathLat: sim.Clock(s.sys.Latency(p, nb))})
 		}
 		sc.targets = out
 		return out, msgs
@@ -423,10 +425,7 @@ func (s *Scheme) hopNeighborhood(t sim.Clock, p overlay.NodeID, h int, sc *searc
 	for hop := 1; hop <= h && len(frontier) > 0; hop++ {
 		next = next[:0]
 		for _, u := range frontier {
-			for _, nb := range s.sys.G.Neighbors(u) {
-				if !s.sys.G.Alive(nb) || !s.cacheEligible(nb) {
-					continue
-				}
+			for _, nb := range s.eligibleView(u) {
 				msgs++
 				if !s.sys.Arrives(t, metrics.MAdsRequest, u, nb, sc.fkey, sc.nextSeq()) {
 					continue // copy lost: nb may still arrive via another edge

@@ -143,6 +143,17 @@ func (r *Recorder) CountMsg(tMS int64, class metrics.MsgClass) {
 	atomic.AddInt64(&r.cells[r.row(tMS)*NumCounters+int(cMsgBase)+int(class)], 1)
 }
 
+// CountMsgN records n sent message copies of the given class at tMS in
+// one cell update. Cascades that send a whole neighbour view at the same
+// virtual time batch their counting through this instead of paying one
+// atomic add per copy; the resulting cells are identical.
+func (r *Recorder) CountMsgN(tMS int64, class metrics.MsgClass, n int) {
+	if r == nil || n == 0 {
+		return
+	}
+	atomic.AddInt64(&r.cells[r.row(tMS)*NumCounters+int(cMsgBase)+int(class)], int64(n))
+}
+
 // Search records one replayed query: its issue time, outcome, observed
 // response latency (successes only) and per-search cost in bytes.
 func (r *Recorder) Search(tMS int64, ok bool, respMS int64, bytes int64) {

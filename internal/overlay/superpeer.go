@@ -28,11 +28,6 @@ const (
 func NewSuperPeer(net *netmodel.Network, hosts []netmodel.PhysID, initial int, superFrac, superDeg float64, rng *rand.Rand) *Graph {
 	checkInitial(hosts, initial)
 	g := newGraph(SuperPeerKind, net, hosts, superDeg)
-	g.super = make([]bool, len(hosts))
-	g.parent = make([]NodeID, len(hosts))
-	for i := range g.parent {
-		g.parent[i] = -1
-	}
 	for v := 0; v < initial; v++ {
 		g.Activate(NodeID(v))
 	}
@@ -83,7 +78,7 @@ func (g *Graph) repairSuperBackbone(supers []NodeID, rng *rand.Rand) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if !g.super[w] {
 					continue
 				}
@@ -137,7 +132,7 @@ func (g *Graph) LeavesOf(sp NodeID) []NodeID {
 		return nil
 	}
 	var out []NodeID
-	for _, nb := range g.adj[sp] {
+	for _, nb := range g.Neighbors(sp) {
 		if !g.super[nb] && g.alive[nb] && g.parent[nb] == sp {
 			out = append(out, nb)
 		}
@@ -166,7 +161,7 @@ func (g *Graph) joinSuperPeer(v NodeID, rng *rand.Rand) []NodeID {
 	sp := supers[rng.IntN(len(supers))]
 	g.AddEdge(v, sp)
 	g.parent[v] = sp
-	return g.adj[v]
+	return g.Neighbors(v)
 }
 
 // rehomeOrphans re-attaches the leaves orphaned by a departing super peer

@@ -80,8 +80,8 @@ func (f *Flooding) Search(ev *trace.Event) metrics.SearchResult {
 		if int(it.Hop) >= f.TTL {
 			continue
 		}
-		for _, nb := range sys.G.Neighbors(it.Node) {
-			if nb == it.From || !sys.G.Alive(nb) {
+		for _, nb := range sys.G.LiveNeighbors(it.Node) {
+			if nb == it.From {
 				continue
 			}
 			msgs++

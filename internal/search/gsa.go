@@ -6,7 +6,6 @@ import (
 
 	"asap/internal/faults"
 	"asap/internal/metrics"
-	"asap/internal/overlay"
 	"asap/internal/sim"
 	"asap/internal/trace"
 )
@@ -47,12 +46,10 @@ func (g *GSA) Search(ev *trace.Event) metrics.SearchResult {
 	sc.begin(faults.Key(ev.Time, ev.Node))
 
 	src := ev.Node
-	var seeds []overlay.NodeID
-	for _, nb := range sys.G.Neighbors(src) {
-		if sys.G.Alive(nb) {
-			seeds = append(seeds, nb)
-		}
-	}
+	// The live view is the seed list directly — shared with the graph (no
+	// per-query allocation) and stable for the query's duration, since
+	// walkers never mutate the overlay.
+	seeds := sys.G.LiveNeighbors(src)
 	qBytes := sim.QueryBytes(len(ev.Terms))
 	if len(seeds) == 0 {
 		return metrics.SearchResult{}

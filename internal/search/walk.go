@@ -80,18 +80,16 @@ func runWalker(sys *sim.System, sc *scratch, rng *rand.Rand, src overlay.NodeID,
 // an immediate return to prev when any alternative exists; -1 when cur has
 // no live neighbour.
 func pickNeighbor(sys *sim.System, cur, prev overlay.NodeID, rng *rand.Rand) overlay.NodeID {
-	nbs := sys.G.Neighbors(cur)
-	liveN, liveNotPrev := 0, 0
+	// The overlay's live view is pre-filtered and preserves adjacency
+	// order, so the draw below replays exactly like the old Alive scan.
+	nbs := sys.G.LiveNeighbors(cur)
+	liveNotPrev := 0
 	for _, nb := range nbs {
-		if !sys.G.Alive(nb) {
-			continue
-		}
-		liveN++
 		if nb != prev {
 			liveNotPrev++
 		}
 	}
-	if liveN == 0 {
+	if len(nbs) == 0 {
 		return -1
 	}
 	if liveNotPrev == 0 {
@@ -99,7 +97,7 @@ func pickNeighbor(sys *sim.System, cur, prev overlay.NodeID, rng *rand.Rand) ove
 	}
 	k := rng.IntN(liveNotPrev)
 	for _, nb := range nbs {
-		if !sys.G.Alive(nb) || nb == prev {
+		if nb == prev {
 			continue
 		}
 		if k == 0 {

@@ -296,6 +296,12 @@ func (s *System) Latency(a, b overlay.NodeID) int { return s.G.Latency(a, b) }
 // Account books message bytes into the load account.
 func (s *System) Account(t Clock, c metrics.MsgClass, bytes int) { s.Load.Add(t, c, bytes) }
 
+// FaultFree reports that no fault plane is installed: every sent copy
+// arrives and no per-copy drop decision exists. Delivery cascades use this
+// to take a batched fast path — per-edge Arrives calls (and the drop-seq
+// stream they would consume) are only needed when drops are possible.
+func (s *System) FaultFree() bool { return s.faults == nil }
+
 // SetFaults installs a fault-injection plane. Call before Attach/replay;
 // nil (the default) models the paper's perfectly reliable network.
 func (s *System) SetFaults(p *faults.Plane) { s.faults = p }
