@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery fuzz-smoke obs-smoke alloc-gate profile check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate profile check
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,13 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The packages that run scheme code and matrix replays concurrently.
+# The packages that run scheme code and matrix replays concurrently, plus
+# the signature-index equivalence property (bit-sliced scan ≡ scalar linear
+# scan under churn × loss × eviction), which shares frozen slot matrices
+# across concurrent searches and so must hold under the detector.
 race:
 	$(GO) test -race ./internal/sim ./internal/experiments
+	$(GO) test -race -run 'TestIndexedCacheEquivalenceUnderChurnAndLoss' ./internal/core
 
 # The fault-plane property suite under the race detector: a tiny matrix at
 # 2% message loss must be identical for 1 and N workers, and a zero-loss
@@ -47,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzFilterWire$$' -fuzztime $(FUZZTIME) ./internal/bloom
 	$(GO) test -run '^$$' -fuzz '^FuzzPatchDecode$$' -fuzztime $(FUZZTIME) ./internal/bloom
+	$(GO) test -run '^$$' -fuzz '^FuzzSlicedGeometry$$' -fuzztime $(FUZZTIME) ./internal/bloom
 
 # Observability-plane determinism under the race detector: per-second
 # series byte-identical across worker counts, and summaries unchanged by
@@ -61,11 +66,19 @@ bench-delivery:
 	$(GO) test -run '^$$' -bench 'BenchmarkDeliverFlood|BenchmarkDeliverWalk|BenchmarkApplyAd' \
 		-benchtime 100x -benchmem ./internal/core
 
-# Zero-alloc gates: the obs-off hot path (promised in internal/obs) and
-# the warmed-up delivery hot loops (flood, walk, applyAd).
+# Replay-plane micro-benchmarks: one full small-scale end-to-end replay
+# plus the bit-sliced phase-1 cache scan. One/hundred iterations as a
+# smoke test so a hot-loop regression (or a new allocation) fails fast.
+bench-replay:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplaySmall' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkScanChains' -benchtime 100x -benchmem ./internal/core
+
+# Zero-alloc gates: the obs-off hot path (promised in internal/obs), the
+# warmed-up delivery hot loops (flood, walk, applyAd) and the warmed-up
+# replay scan paths (scanCache, serveAds).
 alloc-gate:
 	$(GO) test -run 'TestObsOffHotPathAllocs' -count=1 .
-	$(GO) test -run 'TestDeliveryHotPathAllocs' -count=1 ./internal/core
+	$(GO) test -run 'TestDeliveryHotPathAllocs|TestScanHotPathAllocs' -count=1 ./internal/core
 
 # Profile a small-scale matrix run; inspect with `go tool pprof out/cpu.pb`.
 profile:
@@ -74,4 +87,4 @@ profile:
 		-cpuprofile out/cpu.pb -memprofile out/mem.pb -mutexprofile out/mutex.pb
 	@echo "profiles written to out/{cpu,mem,mutex}.pb"
 
-check: vet fmt test race loss-smoke bench-gate bench-delivery obs-smoke alloc-gate fuzz-smoke
+check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate fuzz-smoke

@@ -50,10 +50,16 @@ type benchRecord struct {
 	// for hot-loop optimisations, on the same host. Empty when no previous
 	// record existed.
 	DeliveryDelta []phaseDelta `json:"delivery_phase_delta,omitempty"`
-	SpeedupX      *float64     `json:"speedup_x"`
-	SpeedupNote   string       `json:"speedup_note,omitempty"`
-	OutputsEqual  bool         `json:"outputs_equal"`
-	When          string       `json:"when"`
+	// ReplayDelta compares the replay phase — the event loop proper, the
+	// target of the flattened replay data plane (DESIGN.md §12) — against
+	// the previous record, alongside the per-run allocation counters and
+	// whether the new matrix still matched its own sequential baseline.
+	// Nil when no previous record existed at the output path.
+	ReplayDelta  *replayDelta `json:"replay_phase_delta,omitempty"`
+	SpeedupX     *float64     `json:"speedup_x"`
+	SpeedupNote  string       `json:"speedup_note,omitempty"`
+	OutputsEqual bool         `json:"outputs_equal"`
+	When         string       `json:"when"`
 }
 
 // phaseDelta is one phase's before/after wall-clock comparison.
@@ -62,6 +68,57 @@ type phaseDelta struct {
 	BeforeMS     float64 `json:"before_total_ms"`
 	AfterMS      float64 `json:"after_total_ms"`
 	DeltaPercent float64 `json:"delta_percent"`
+}
+
+// replayDelta is the replay phase's before/after comparison, with the
+// allocation-per-run counters that show whether a wall-clock win came
+// with (or from) an allocation win, and the equality verdict guarding it.
+type replayDelta struct {
+	BeforeMS        float64 `json:"before_replay_ms"`
+	AfterMS         float64 `json:"after_replay_ms"`
+	DeltaPercent    float64 `json:"delta_percent"`
+	BeforeAllocsRun float64 `json:"before_allocs_per_run"`
+	AfterAllocsRun  float64 `json:"after_allocs_per_run"`
+	OutputsEqual    bool    `json:"outputs_equal"`
+}
+
+// replayPhaseDelta loads the previous record at path (if any) and compares
+// its replay-phase total and per-run allocations against the current run.
+func replayPhaseDelta(path string, cur []obs.PhaseStat, curAllocs float64, outputsEqual bool) *replayDelta {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil // first record at this path: nothing to compare
+	}
+	var prev struct {
+		Optimized struct {
+			AllocsPerRun float64 `json:"allocs_per_run"`
+		} `json:"optimized_parallel_cloned"`
+		Phases []obs.PhaseStat `json:"optimized_phase_timing"`
+	}
+	if json.Unmarshal(buf, &prev) != nil {
+		return nil
+	}
+	find := func(stats []obs.PhaseStat) (float64, bool) {
+		for _, st := range stats {
+			if st.Phase == "replay" {
+				return st.TotalMS, true
+			}
+		}
+		return 0, false
+	}
+	before, okB := find(prev.Phases)
+	after, okA := find(cur)
+	if !okB || !okA || before <= 0 {
+		return nil
+	}
+	return &replayDelta{
+		BeforeMS:        before,
+		AfterMS:         after,
+		DeltaPercent:    (after - before) / before * 100,
+		BeforeAllocsRun: prev.Optimized.AllocsPerRun,
+		AfterAllocsRun:  curAllocs,
+		OutputsEqual:    outputsEqual,
+	}
 }
 
 // deliveryPhaseDelta loads the previous bench record at path (if any) and
@@ -178,6 +235,7 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 		runs += len(per)
 	}
 	phases := timing.Stats()
+	outputsEqual := reflect.DeepEqual(baseMat, optMat)
 	rec := benchRecord{
 		Scale:         sc.Name,
 		Seed:          sc.Seed,
@@ -189,7 +247,8 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 		Optimized:     opt,
 		Phases:        phases,
 		DeliveryDelta: deliveryPhaseDelta(path, phases),
-		OutputsEqual:  reflect.DeepEqual(baseMat, optMat),
+		ReplayDelta:   replayPhaseDelta(path, phases, opt.AllocsPerRun, outputsEqual),
+		OutputsEqual:  outputsEqual,
 		When:          time.Now().UTC().Format(time.RFC3339),
 	}
 	// A speedup ratio only measures the parallel path when the process can

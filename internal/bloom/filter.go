@@ -205,10 +205,20 @@ func (f *Filter) Equal(g *Filter) bool {
 // whose values differ, tagged with the value they take in g. Filters must
 // share a geometry.
 func (f *Filter) Diff(g *Filter) Patch {
+	var p Patch
+	f.AppendDiff(g, &p)
+	return p
+}
+
+// AppendDiff is Diff writing into p, reusing its position slices. The
+// publish path diffs one filter pair per content change all replay long;
+// with a pooled patch the diff allocates nothing once the buffers have
+// grown. Position lists come out ascending, as Diff produces them.
+func (f *Filter) AppendDiff(g *Filter, p *Patch) {
 	if f.m != g.m || f.k != g.k {
 		panic("bloom: Diff across mismatched geometries")
 	}
-	var p Patch
+	p.Set, p.Cleared = p.Set[:0], p.Cleared[:0]
 	for wi := range f.words {
 		x := f.words[wi] ^ g.words[wi]
 		for x != 0 {
@@ -222,7 +232,6 @@ func (f *Filter) Diff(g *Filter) Patch {
 			x &= x - 1
 		}
 	}
-	return p
 }
 
 // Apply applies a patch produced by Diff.

@@ -1,0 +1,110 @@
+package bloom
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Sliced is a bit-sliced (column-major) signature matrix over filters that
+// share one geometry (m, k). Filters are assigned consecutive slots,
+// grouped into blocks of 64; block g keeps one machine word per filter bit
+// position, where bit j of word pos says whether slot 64g+j's filter sets
+// bit pos. A query's probe positions then test up to 64 filters per
+// word-AND pass instead of probing each filter's bitmap in turn.
+//
+// The matrix is append-only: Add assigns the next slot and writes its
+// column bits once; no written bit is ever changed afterwards, so a match
+// word computed at any point stays correct for every slot that existed
+// then. Add does write into the current block's words (the new slot's bit
+// lane), so callers must not run Add concurrently with AppendMatch — the
+// simulator registers slots only at publish time, behind the replay's
+// query-batch barrier.
+type Sliced struct {
+	m, k   uint32
+	n      int
+	blocks [][]uint64 // blocks[g][pos]: bit j set ⇔ slot 64g+j sets bit pos
+}
+
+// NewSliced returns an empty signature matrix for filters of m bits probed
+// by k hash functions. It panics on a non-positive geometry, like New.
+func NewSliced(m, k int) *Sliced {
+	if m <= 0 || k <= 0 || k > 64 {
+		panic(fmt.Sprintf("bloom: invalid sliced geometry m=%d k=%d", m, k))
+	}
+	return &Sliced{m: uint32(m), k: uint32(k)}
+}
+
+// Geometry returns the shared filter geometry (m, k) of this matrix.
+func (s *Sliced) Geometry() (m, k int) { return int(s.m), int(s.k) }
+
+// Len returns the number of assigned slots.
+func (s *Sliced) Len() int { return s.n }
+
+// Blocks returns the number of 64-slot blocks, i.e. the length AppendMatch
+// appends.
+func (s *Sliced) Blocks() int { return len(s.blocks) }
+
+// Add assigns the next slot to f and writes its signature columns: for
+// every bit position set in f, the slot's lane bit in that position's
+// column word. It panics on a geometry mismatch — a foreign geometry's bit
+// positions would not line up with this matrix's columns.
+func (s *Sliced) Add(f *Filter) int {
+	if f.m != s.m || uint32(f.k) != s.k {
+		panic(fmt.Sprintf("bloom: Add of (m=%d,k=%d) filter to (m=%d,k=%d) sliced matrix", f.m, f.k, s.m, s.k))
+	}
+	slot := s.n
+	s.n++
+	if slot>>6 == len(s.blocks) {
+		s.blocks = append(s.blocks, make([]uint64, s.m))
+	}
+	blk := s.blocks[slot>>6]
+	lane := uint64(1) << (uint(slot) & 63)
+	for wi, w := range f.words {
+		for ; w != 0; w &= w - 1 {
+			blk[wi*64+bits.TrailingZeros64(w)] |= lane
+		}
+	}
+	return slot
+}
+
+// AppendPositions appends each probe's k bit positions reduced mod this
+// matrix's filter length, and returns dst. The positions are shared by
+// every filter in the matrix — that is the point of grouping slots by
+// geometry — so one reduction serves the whole scan.
+func (s *Sliced) AppendPositions(dst []uint32, ps []Probe) []uint32 {
+	for _, p := range ps {
+		for i := uint32(0); i < s.k; i++ {
+			dst = append(dst, (p.h1+i*p.h2)%s.m)
+		}
+	}
+	return dst
+}
+
+// AppendMatch appends one match word per block to dst and returns it: bit
+// j of word g is set iff slot 64g+j's filter has every one of positions
+// set — exactly ContainsAllProbes of that filter for the probes the
+// positions were derived from. With no positions every lane matches (a
+// term-less query passes every filter), including lanes beyond Len(), so
+// callers AND the result against a slot-membership mask rather than
+// reading it raw.
+func (s *Sliced) AppendMatch(dst []uint64, positions []uint32) []uint64 {
+	for b := range s.blocks {
+		dst = append(dst, s.MatchBlock(b, positions))
+	}
+	return dst
+}
+
+// MatchBlock computes the match word of one 64-slot block: bit j is set iff
+// slot 64b+j's filter has every one of positions set. It AND-folds the
+// block's column words with early exit once no lane survives.
+func (s *Sliced) MatchBlock(b int, positions []uint32) uint64 {
+	blk := s.blocks[b]
+	w := ^uint64(0)
+	for _, pos := range positions {
+		w &= blk[pos]
+		if w == 0 {
+			break
+		}
+	}
+	return w
+}

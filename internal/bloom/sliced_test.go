@@ -1,0 +1,137 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// slicedGeometries are the pool lengths the variable-sizing strategy can
+// produce, plus deliberately odd shapes (non-word-multiple m, tiny m,
+// extreme k) the matrix must still slice exactly.
+var slicedGeometries = [][2]int{
+	{DefaultBits, DefaultHashes},
+	{DefaultBits / 16, DefaultHashes},
+	{DefaultBits * 4, DefaultHashes},
+	{64, 1},
+	{65, 3},
+	{7, 2},
+	{129, 64},
+}
+
+// TestSlicedMatchesContainsAllProbes is the exactness property of the
+// bit-sliced matrix: for random filters and random probe sets across
+// geometries, the match word's slot bit equals the filter's scalar
+// ContainsAllProbes — bit for bit, including slots far beyond the first
+// block.
+func TestSlicedMatchesContainsAllProbes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for _, geo := range slicedGeometries {
+		m, k := geo[0], geo[1]
+		s := NewSliced(m, k)
+		var filters []*Filter
+		for i := 0; i < 150; i++ {
+			f := New(m, k)
+			for n := rng.IntN(20); n > 0; n-- {
+				f.AddKey(rng.Uint64() % 500)
+			}
+			if slot := s.Add(f); slot != i {
+				t.Fatalf("m=%d k=%d: slot %d assigned, want %d", m, k, slot, i)
+			}
+			filters = append(filters, f)
+		}
+		for trial := 0; trial < 50; trial++ {
+			var keys []uint64
+			for n := rng.IntN(5); n > 0; n-- {
+				keys = append(keys, rng.Uint64()%500)
+			}
+			probes := AppendKeyProbes(nil, keys)
+			match := s.AppendMatch(nil, s.AppendPositions(nil, probes))
+			if len(match) != s.Blocks() {
+				t.Fatalf("m=%d k=%d: %d match words, want %d", m, k, len(match), s.Blocks())
+			}
+			for slot, f := range filters {
+				got := match[slot>>6]>>(uint(slot)&63)&1 != 0
+				if want := f.ContainsAllProbes(probes); got != want {
+					t.Fatalf("m=%d k=%d slot=%d keys=%v: sliced=%v scalar=%v", m, k, slot, keys, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSlicedEmptyPositions: with no probe positions every assigned lane
+// matches — the term-less query convention — and callers are expected to
+// mask out unassigned lanes themselves.
+func TestSlicedEmptyPositions(t *testing.T) {
+	s := NewSliced(256, 4)
+	for i := 0; i < 3; i++ {
+		s.Add(New(256, 4))
+	}
+	match := s.AppendMatch(nil, nil)
+	if len(match) != 1 || match[0] != ^uint64(0) {
+		t.Fatalf("empty positions match = %x, want all-ones", match)
+	}
+}
+
+// TestSlicedGeometryMismatchPanics: adding a filter of a foreign geometry
+// must panic rather than corrupt the columns.
+func TestSlicedGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add across geometries did not panic")
+		}
+	}()
+	NewSliced(128, 4).Add(New(64, 4))
+}
+
+// TestSlicedAppendReusesBuffers: AppendPositions/AppendMatch write into
+// the given buffers, the contract the per-query scratch relies on.
+func TestSlicedAppendReusesBuffers(t *testing.T) {
+	s := NewSliced(512, 8)
+	f := New(512, 8)
+	f.AddKey(1)
+	s.Add(f)
+	probes := []Probe{ProbeKey(1)}
+	pos := make([]uint32, 0, 64)
+	match := make([]uint64, 0, 8)
+	p2 := s.AppendPositions(pos, probes)
+	m2 := s.AppendMatch(match, p2)
+	if &p2[0] != &pos[:1][0] || &m2[0] != &match[:1][0] {
+		t.Fatal("append helpers reallocated despite sufficient capacity")
+	}
+	if m2[0]&1 == 0 {
+		t.Fatal("added filter's own key did not match")
+	}
+}
+
+// FuzzSlicedGeometry feeds arbitrary filter geometries and key material to
+// the sliced index and cross-checks every slot's match bit against the
+// scalar probe walk — the fuzz companion of the exactness property.
+func FuzzSlicedGeometry(f *testing.F) {
+	f.Add(uint16(DefaultBits), uint8(DefaultHashes), uint64(12345), uint8(7))
+	f.Add(uint16(64), uint8(1), uint64(0), uint8(1))
+	f.Add(uint16(3), uint8(64), uint64(1<<60), uint8(200))
+	f.Fuzz(func(t *testing.T, m16 uint16, k8 uint8, seed uint64, nKeys uint8) {
+		m := int(m16%4096) + 1
+		k := int(k8%64) + 1
+		rng := rand.New(rand.NewPCG(seed, 99))
+		s := NewSliced(m, k)
+		var filters []*Filter
+		for i := 0; i < 70; i++ {
+			fl := New(m, k)
+			for n := int(nKeys) % 16; n > 0; n-- {
+				fl.AddKey(rng.Uint64())
+			}
+			s.Add(fl)
+			filters = append(filters, fl)
+		}
+		probes := AppendKeyProbes(nil, []uint64{seed, seed ^ 0xabcdef, rng.Uint64()})
+		match := s.AppendMatch(nil, s.AppendPositions(nil, probes))
+		for slot, fl := range filters {
+			got := match[slot>>6]>>(uint(slot)&63)&1 != 0
+			if want := fl.ContainsAllProbes(probes); got != want {
+				t.Fatalf("m=%d k=%d slot=%d: sliced=%v scalar=%v", m, k, slot, got, want)
+			}
+		}
+	})
+}

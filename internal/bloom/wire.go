@@ -3,6 +3,7 @@ package bloom
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -21,8 +22,18 @@ func (p Patch) Empty() bool { return len(p.Set) == 0 && len(p.Cleared) == 0 }
 // Len returns the number of changed bit locations.
 func (p Patch) Len() int { return len(p.Set) + len(p.Cleared) }
 
-// WireSize returns the encoded size of the patch in bytes.
-func (p Patch) WireSize() int { return len(p.Encode()) }
+// WireSize returns the encoded size of the patch in bytes. It computes
+// the varint lengths directly instead of materialising the encoding — the
+// publish hot path sizes a patch per content change and must not allocate
+// for it.
+func (p Patch) WireSize() int {
+	s := encodedPosListLen(p.Set)
+	c := encodedPosListLen(p.Cleared)
+	if s < 0 || c < 0 {
+		return len(p.Encode()) // unsorted list: let Encode's sort normalise
+	}
+	return s + c
+}
 
 // Encode serialises the patch as two delta-varint position lists, each
 // preceded by its length.
@@ -144,13 +155,52 @@ func DecodeRaw(data []byte) (*Filter, error) {
 // WireSize returns the number of bytes the filter occupies on the wire:
 // the smaller of the raw bitmap and the compressed position-list encodings.
 // This is the payload size charged to full-ad messages by the simulator.
+// Like Patch.WireSize it sums varint lengths without building either
+// encoding, so sizing a freshly built filter allocates nothing.
 func (f *Filter) WireSize() int {
 	raw := 6 + (int(f.m)+7)/8
-	comp := len(f.EncodeCompressed())
-	if comp < raw {
-		return comp
+	comp := uvarintLen(uint64(f.m)) + 1 + uvarintLen(uint64(f.PopCount()))
+	prev := uint32(0)
+	first := true
+	for wi, w := range f.words {
+		for ; w != 0; w &= w - 1 {
+			pos := uint32(wi*64 + bits.TrailingZeros64(w))
+			if first {
+				comp += uvarintLen(uint64(pos))
+				first = false
+			} else {
+				comp += uvarintLen(uint64(pos - prev))
+			}
+			prev = pos
+			if comp >= raw {
+				return raw
+			}
+		}
 	}
-	return raw
+	return comp
+}
+
+// uvarintLen returns the encoded length of x as an unsigned varint.
+func uvarintLen(x uint64) int { return (bits.Len64(x|1) + 6) / 7 }
+
+// encodedPosListLen returns the byte length appendPosList would write for
+// an ascending position list, or -1 when the list is out of order (the
+// caller then falls back to encoding, which sorts a copy).
+func encodedPosListLen(pos []uint32) int {
+	n := uvarintLen(uint64(len(pos)))
+	prev := uint32(0)
+	for i, p := range pos {
+		if i == 0 {
+			n += uvarintLen(uint64(p))
+		} else {
+			if p < prev {
+				return -1
+			}
+			n += uvarintLen(uint64(p - prev))
+		}
+		prev = p
+	}
+	return n
 }
 
 // EncodeWire picks the smaller of the two encodings, prefixing one format

@@ -20,16 +20,21 @@ type adSnapshot struct {
 	topics  content.ClassSet
 	filter  *bloom.Filter // immutable; never mutate after publish
 
+	// Global signature-index coordinates (see adindex.go): sigSlot is the
+	// 1-based lane in geometry group sigGroup's bit-sliced matrix, 0 for an
+	// unslotted snapshot (odd geometry, or one built outside a Scheme — unit
+	// tests construct such snapshots and take the scalar match path).
+	sigGroup uint8
+	sigSlot  int32
+
 	fullWire  int // wire bytes of the full-ad content encoding
 	patchWire int // wire bytes of the patch from the previous version
 }
 
-// cachedAd is one ads-cache entry: a snapshot pointer plus freshness and
-// the fifo insertion sequence that threads it through the topic index.
+// cachedAd is one ads-cache entry: a snapshot pointer plus freshness.
 type cachedAd struct {
 	snap     *adSnapshot
 	lastSeen sim.Clock
-	seq      uint32
 }
 
 // nodeState is the per-node ASAP state: own publication and the ads cache.
@@ -51,28 +56,18 @@ type cachedAd struct {
 // Own content bookkeeping (classCnt, dirty) is only touched from
 // runner-serialised callbacks and needs neither.
 //
-// The zero value is valid: empty chains are all-zero (1-based links),
-// aggOn=false disables aggregate maintenance, and minSeen=0 makes the
-// staleness gate conservative (dropStale runs and self-heals it).
+// The zero value is valid: the flat table starts empty, and minSeen=0
+// makes the staleness gate conservative (dropStale runs and self-heals
+// it).
 type nodeState struct {
 	mu        sync.Mutex
 	published *adSnapshot
-	cache     map[overlay.NodeID]*cachedAd
+	tab       adTable          // src → cache entry (see adindex.go)
 	free      []*cachedAd      // recycled cache entries (slab-backed)
 	slabbed   bool             // the one-shot entry slab has been carved
-	fifo      []overlay.NodeID // insertion order for eviction
+	fifo      []overlay.NodeID // insertion order for eviction and serving
 	classCnt  [content.NumClasses]int32
-	dirty     bool // own content changed since the last publish rebuild
-
-	// Topic index over cache (see adindex.go).
-	nextSeq   uint32
-	elems     []idxElem
-	head      [content.NumClasses]int32 // 1-based; 0 = empty chain
-	tail      [content.NumClasses]int32
-	deadElems int32
-	agg       []uint64  // per-class aggregate unions, NumClasses×aggStride
-	aggOn     bool      // aggregates valid (fixed filter geometry)
-	aggStale  bool      // agg lags the cache; scanClasses rebuilds lazily
+	dirty     bool      // own content changed since the last publish rebuild
 	minSeen   sim.Clock // lower bound on cached lastSeen; staleness gate
 }
 
@@ -89,8 +84,8 @@ func (ns *nodeState) topicsFromCounts() content.ClassSet {
 }
 
 // newEntry returns a zeroed cache entry, recycled or slab-allocated.
-// Entries are map values by pointer so the delivery hot path can bump
-// freshness (and swap snapshots) in place: one map lookup, no map write.
+// Entries are table values by pointer so the delivery hot path can bump
+// freshness (and swap snapshots) in place: one table lookup, no re-insert.
 //
 // The first insertion carves one slab for the node's whole lifetime:
 // evictOver brings the cache back to capacity before store returns, so
@@ -145,47 +140,33 @@ const (
 //
 // capacity enforcement evicts the oldest-inserted entry (FIFO).
 func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacity int) storeOutcome {
-	cur, ok := ns.cache[snap.src]
+	cur := ns.tab.get(snap.src)
 	switch kind {
 	case adFull:
-		if ok && newerVersion(cur.snap.version, snap.version) {
+		if cur != nil && newerVersion(cur.snap.version, snap.version) {
 			// Cached version is newer (reordered delivery); keep it.
 			cur.lastSeen = now
 			return storedOK
 		}
-		if ok {
-			// Replacement keeps the entry's fifo position and seq.
-			if cur.snap != snap {
-				if cur.snap.topics != snap.topics {
-					ns.idxRetopic(snap.src, cur.seq, cur.snap.topics, snap.topics)
-				}
-				ns.noteAgg(snap, now)
-			}
+		if cur != nil {
+			// Replacement keeps the entry's fifo position.
 			cur.snap, cur.lastSeen = snap, now
 			return storedOK
 		}
-		seq := ns.nextSeq
-		ns.nextSeq++
 		e := ns.newEntry(capacity)
-		*e = cachedAd{snap: snap, lastSeen: now, seq: seq}
-		ns.cache[snap.src] = e
+		*e = cachedAd{snap: snap, lastSeen: now}
+		ns.tab.put(snap.src, e)
 		ns.fifo = append(ns.fifo, snap.src)
-		ns.idxInsert(snap.src, seq, snap.topics)
-		ns.noteAgg(snap, now)
 		if now < ns.minSeen {
 			ns.minSeen = now
 		}
 		ns.evictOver(capacity)
 		return storedOK
 	case adPatch:
-		if !ok {
+		if cur == nil {
 			return storedIgnored
 		}
 		if cur.snap.version+1 == snap.version {
-			if cur.snap.topics != snap.topics {
-				ns.idxRetopic(snap.src, cur.seq, cur.snap.topics, snap.topics)
-			}
-			ns.noteAgg(snap, now)
 			cur.snap, cur.lastSeen = snap, now
 			return storedOK
 		}
@@ -195,7 +176,7 @@ func (ns *nodeState) store(snap *adSnapshot, kind adKind, now sim.Clock, capacit
 		cur.lastSeen = now
 		return storedOK
 	case adRefresh:
-		if !ok {
+		if cur == nil {
 			return storedIgnored
 		}
 		if cur.snap.version == snap.version {
@@ -217,34 +198,27 @@ func newerVersion(a, b uint16) bool {
 	return a != b && int16(a-b) > 0
 }
 
-// evictOver pops FIFO entries until the cache fits capacity. The victims'
-// index elements go dead and are reclaimed lazily (traversal unlink or
-// compaction).
+// evictOver pops FIFO entries until the cache fits capacity.
 func (ns *nodeState) evictOver(capacity int) {
-	for len(ns.cache) > capacity && len(ns.fifo) > 0 {
+	for ns.tab.n > capacity && len(ns.fifo) > 0 {
 		victim := ns.fifo[0]
 		ns.fifo = ns.fifo[1:]
-		if e, ok := ns.cache[victim]; ok {
-			ns.deadElems += int32(e.snap.topics.Count())
-			delete(ns.cache, victim)
+		if e := ns.tab.del(victim); e != nil {
 			ns.freeEntry(e)
 		}
 	}
-	ns.maybeCompact()
 }
 
 // drop removes src from the cache and its insertion-order list, keeping
-// fifo an exact mirror of the cache keys (ads replies serve entries in
+// fifo an exact mirror of the cached sources (ads replies serve entries in
 // fifo order, so a stale fifo entry would change reply contents). Called
 // under mu; dead-source eviction is rare enough that the linear scan does
 // not matter.
 func (ns *nodeState) drop(src overlay.NodeID) {
-	e, ok := ns.cache[src]
-	if !ok {
+	e := ns.tab.del(src)
+	if e == nil {
 		return
 	}
-	ns.deadElems += int32(e.snap.topics.Count())
-	delete(ns.cache, src)
 	ns.freeEntry(e)
 	for i, x := range ns.fifo {
 		if x == src {
@@ -258,29 +232,29 @@ func (ns *nodeState) drop(src overlay.NodeID) {
 // minSeen watermark from the survivors, so Search can skip the sweep until
 // an entry can actually expire. Called under mu.
 func (ns *nodeState) dropStale(deadline sim.Clock) {
-	if len(ns.cache) == 0 {
+	if ns.tab.n == 0 {
 		ns.minSeen = maxClock
 		return
 	}
 	minSeen := maxClock
 	kept := ns.fifo[:0]
 	for _, src := range ns.fifo {
-		if e, ok := ns.cache[src]; ok {
-			if e.lastSeen < deadline {
-				ns.deadElems += int32(e.snap.topics.Count())
-				delete(ns.cache, src)
-				ns.freeEntry(e)
-			} else {
-				if e.lastSeen < minSeen {
-					minSeen = e.lastSeen
-				}
-				kept = append(kept, src)
+		e := ns.tab.get(src)
+		if e == nil {
+			continue
+		}
+		if e.lastSeen < deadline {
+			ns.tab.del(src)
+			ns.freeEntry(e)
+		} else {
+			if e.lastSeen < minSeen {
+				minSeen = e.lastSeen
 			}
+			kept = append(kept, src)
 		}
 	}
 	ns.fifo = kept
 	ns.minSeen = minSeen
-	ns.maybeCompact()
 }
 
 // adKind discriminates the three ad types of §III-B.

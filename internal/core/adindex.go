@@ -1,316 +1,301 @@
 package core
 
 import (
-	"math/bits"
-
 	"asap/internal/bloom"
 	"asap/internal/content"
 	"asap/internal/overlay"
 	"asap/internal/sim"
 )
 
-// Topic-keyed posting chains over the ads cache. Each cached entry is
-// threaded into one singly linked chain per topic class, so Search scans
-// only the chains that can hold a match and ads replies enumerate a
-// neighbour's interest-matching entries without touching the rest of the
-// cache. The chains are an acceleration structure over the fifo/cache
-// pair, not a second source of truth:
+// Replay-plane acceleration over the ads caches (see DESIGN.md §12).
 //
-//   - every element carries the entry's fifo insertion sequence (seq);
-//     chains are kept in ascending seq order, so fifo order is recovered
-//     exactly by merging chains (serveAds);
-//   - elements are validated lazily against the cache on traversal — an
-//     element whose entry was evicted, replaced under a new seq, or
-//     re-topiced away from the chain's class is unlinked in passing;
-//   - per-class aggregate filter unions (see bloom.UnionInto) are monotone
-//     supersets of every cached filter with that topic, letting Search
-//     skip whole complement classes whose union fails the query probes.
+// Every published adSnapshot is immutable and shared by pointer across all
+// caches, so its Bloom signature is sliced ONCE, globally, at publication:
+// the Scheme keeps one bit-sliced column matrix per filter geometry
+// (adSlots), and each snapshot records which matrix (sigGroup) and which
+// column lane (sigSlot) holds its signature. A query then derives its probe
+// positions once per geometry group and resolves "does this cached ad match
+// every term" to a single bit test against a lazily computed 64-ad match
+// word (queryAcc) — the word-parallel replacement for the per-ad
+// ContainsAllProbes walk.
 //
-// All index state lives in nodeState and is guarded by nodeState.mu.
-
-// idxElem is one posting-chain element. Links are 1-based arena indices
-// (0 terminates), so a zero-valued nodeState has valid empty chains.
-type idxElem struct {
-	src  overlay.NodeID
-	seq  uint32
-	next int32
-}
+// Per-node cache lookup is a flat open-addressed table (adTable) instead of
+// a Go map: the store path is the single hottest map user in replay
+// profiles, and the table's linear probing over a two-word slot array keeps
+// it to one predictable cache line in the common case.
+//
+// Concurrency: adSlots is written only on the runner thread (publishWith),
+// which the runner's query-batch barrier orders strictly before and after
+// any Search; during a query batch the matrices are frozen and read-only.
+// Per-node state (adTable, fifo) keeps the existing discipline — nodeState.mu
+// across searches, the delivery seqlock across runner-thread writes.
 
 // maxClock is the highest representable virtual time; the watermark of an
 // empty cache.
 const maxClock = sim.Clock(1)<<62 - 1
 
-// aggStride is the word length of one class's aggregate union.
-const aggStride = bloom.DefaultWords
+// maxSigGroups bounds the number of distinct filter geometries the global
+// signature index slices. The variable-sizing pool produces 7 lengths and
+// fixed sizing exactly one, so the bound is never hit in practice; a
+// geometry beyond it simply stays unslotted and matches via the scalar
+// fallback (the "odd geometry" path).
+const maxSigGroups = 16
 
-// allClasses selects every posting chain (the full linear scan).
-const allClasses = content.ClassSet(1)<<content.NumClasses - 1
-
-// idxInsert threads a freshly inserted cache entry into the chains of its
-// topics. seq is monotone over insertions, so appending at the tails
-// preserves the ascending-seq invariant.
-func (ns *nodeState) idxInsert(src overlay.NodeID, seq uint32, topics content.ClassSet) {
-	for t := uint16(topics); t != 0; t &= t - 1 {
-		c := bits.TrailingZeros16(t)
-		e := int32(len(ns.elems)) + 1
-		ns.elems = append(ns.elems, idxElem{src: src, seq: seq})
-		if ns.tail[c] == 0 {
-			ns.head[c] = e
-		} else {
-			ns.elems[ns.tail[c]-1].next = e
-		}
-		ns.tail[c] = e
-	}
+// adSlots is the global signature index: one bit-sliced matrix per filter
+// geometry, growing append-only as snapshots are published. Runner thread
+// only for writes; frozen during query batches.
+type adSlots struct {
+	groups []*bloom.Sliced
 }
 
-// idxRetopic fixes the chains after src's cached snapshot changed topics
-// in place (a patch or full-ad replacement): classes the new set gains get
-// a seq-ordered insertion at the entry's original fifo position, classes
-// it loses are left to lazy cleanup. The entry keeps its seq — replacing a
-// cached ad does not move it in the fifo.
-func (ns *nodeState) idxRetopic(src overlay.NodeID, seq uint32, oldT, newT content.ClassSet) {
-	for t := uint16(newT &^ oldT); t != 0; t &= t - 1 {
-		ns.idxSortedInsert(content.Class(bits.TrailingZeros16(t)), src, seq)
-	}
-	ns.deadElems += int32((oldT &^ newT).Count())
-}
-
-// idxSortedInsert links (src, seq) into chain c at its seq position. If a
-// lazily retained element for the same (src, seq) is still threaded — the
-// entry's topics flapped c off and back on — it simply becomes valid again.
-func (ns *nodeState) idxSortedInsert(c content.Class, src overlay.NodeID, seq uint32) {
-	prev := int32(0)
-	for e := ns.head[c]; e != 0; e = ns.elems[e-1].next {
-		el := &ns.elems[e-1]
-		if el.seq == seq && el.src == src {
+// register slices snap's filter into the matrix of its geometry, creating
+// the group on first sight. Snapshots beyond maxSigGroups geometries stay
+// unslotted (sigSlot 0) and are matched scalar.
+func (s *adSlots) register(snap *adSnapshot) {
+	m, k := snap.filter.Bits(), snap.filter.Hashes()
+	for gi, g := range s.groups {
+		gm, gk := g.Geometry()
+		if gm == m && gk == k {
+			snap.sigGroup, snap.sigSlot = uint8(gi), int32(g.Add(snap.filter))+1
 			return
 		}
-		if el.seq > seq {
+	}
+	if len(s.groups) >= maxSigGroups {
+		return
+	}
+	g := bloom.NewSliced(m, k)
+	snap.sigGroup, snap.sigSlot = uint8(len(s.groups)), int32(g.Add(snap.filter))+1
+	s.groups = append(s.groups, g)
+}
+
+// queryAcc is one query's lazy match accumulator over the global signature
+// index. Probe positions are derived at most once per geometry group, and
+// match words at most once per 64-slot block — only for blocks a tested
+// snapshot actually lives in — so a cache scan costs one word-AND pass per
+// touched block plus a bit test per entry. Buffers persist across queries
+// in the search scratch; reset clears the computed marks, not the storage,
+// so the steady state allocates nothing.
+type queryAcc struct {
+	slots  *adSlots
+	probes []bloom.Probe
+	pos    [][]uint32 // per group: probe bit positions (shared by the group)
+	posOK  []bool
+	accs   [][]uint64 // per group: per-block match words
+	comp   [][]uint64 // per group: bitmap of computed blocks
+}
+
+// reset rebinds the accumulator to a query's probes, invalidating all
+// cached positions and match words.
+func (qa *queryAcc) reset(slots *adSlots, probes []bloom.Probe) {
+	qa.slots, qa.probes = slots, probes
+	for g := range qa.posOK {
+		qa.posOK[g] = false
+	}
+	for g := range qa.comp {
+		clear(qa.comp[g])
+	}
+}
+
+// matches reports whether snap's filter passes every probe of the query:
+// the sliced bit test for slotted snapshots, the scalar probe walk for
+// unslotted ones. The two agree exactly — the matrix columns are the
+// filter's own bits and the positions are the same (h1+i·h2) mod m
+// sequence ContainsAllProbes walks.
+func (qa *queryAcc) matches(snap *adSnapshot) bool {
+	slot := int(snap.sigSlot) - 1
+	if slot < 0 || qa.slots == nil {
+		return snap.filter.ContainsAllProbes(qa.probes)
+	}
+	g, b := int(snap.sigGroup), slot>>6
+	if g >= len(qa.accs) || b >= len(qa.accs[g]) {
+		qa.grow(g, b)
+	}
+	if qa.comp[g][b>>6]&(1<<(uint(b)&63)) == 0 {
+		qa.comp[g][b>>6] |= 1 << (uint(b) & 63)
+		sl := qa.slots.groups[g]
+		if !qa.posOK[g] {
+			qa.posOK[g] = true
+			qa.pos[g] = sl.AppendPositions(qa.pos[g][:0], qa.probes)
+		}
+		qa.accs[g][b] = sl.MatchBlock(b, qa.pos[g])
+	}
+	return qa.accs[g][b]>>(uint(slot)&63)&1 != 0
+}
+
+// grow sizes the per-group buffers to cover group g, block b. Growth is
+// monotone over a run (groups and blocks only ever appear), so it amortises
+// to nothing once the index stops growing.
+func (qa *queryAcc) grow(g, b int) {
+	for len(qa.accs) <= g {
+		qa.pos = append(qa.pos, nil)
+		qa.posOK = append(qa.posOK, false)
+		qa.accs = append(qa.accs, nil)
+		qa.comp = append(qa.comp, nil)
+	}
+	for len(qa.accs[g]) <= b {
+		qa.accs[g] = append(qa.accs[g], 0)
+	}
+	for len(qa.comp[g]) <= b>>6 {
+		qa.comp[g] = append(qa.comp[g], 0)
+	}
+}
+
+// adTable is a flat open-addressed hash table mapping ad source → cache
+// entry: power-of-two sizing, multiplicative hashing, linear probing,
+// backward-shift deletion (no tombstones). The zero value is a valid empty
+// table. It replaces the per-node Go map on the store/serve hot paths.
+type adTable struct {
+	slots []adTabSlot
+	n     int
+}
+
+// adTabSlot is one table slot. key is src+1 so 0 marks an empty slot for
+// any valid NodeID.
+type adTabSlot struct {
+	key uint32
+	e   *cachedAd
+}
+
+func adTabHash(key, mask uint32) uint32 { return (key * 2654435761) & mask }
+
+// get returns the entry cached for src, or nil.
+func (t *adTable) get(src overlay.NodeID) *cachedAd {
+	if len(t.slots) == 0 {
+		return nil
+	}
+	mask := uint32(len(t.slots) - 1)
+	key := uint32(src) + 1
+	for i := adTabHash(key, mask); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.key == key {
+			return s.e
+		}
+		if s.key == 0 {
+			return nil
+		}
+	}
+}
+
+// put inserts or replaces src's entry, growing at 50% load so probe runs
+// stay short.
+func (t *adTable) put(src overlay.NodeID, e *cachedAd) {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	mask := uint32(len(t.slots) - 1)
+	key := uint32(src) + 1
+	for i := adTabHash(key, mask); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.key == key {
+			s.e = e
+			return
+		}
+		if s.key == 0 {
+			s.key, s.e = key, e
+			t.n++
+			return
+		}
+	}
+}
+
+// del removes and returns src's entry (nil if absent), backward-shifting
+// the displaced run so lookups never need tombstones.
+func (t *adTable) del(src overlay.NodeID) *cachedAd {
+	if len(t.slots) == 0 {
+		return nil
+	}
+	mask := uint32(len(t.slots) - 1)
+	key := uint32(src) + 1
+	i := adTabHash(key, mask)
+	for ; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.key == 0 {
+			return nil
+		}
+		if s.key == key {
 			break
 		}
-		prev = e
 	}
-	e := int32(len(ns.elems)) + 1
-	var next int32
-	if prev == 0 {
-		next = ns.head[c]
-		ns.head[c] = e
-	} else {
-		next = ns.elems[prev-1].next
-		ns.elems[prev-1].next = e
+	e := t.slots[i].e
+	t.n--
+	// Backward shift: slide later run members whose home position reaches
+	// back to (or past) the vacated slot, preserving probe invariants.
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := t.slots[j]
+		if s.key == 0 {
+			break
+		}
+		if h := adTabHash(s.key, mask); (j-h)&mask >= (j-i)&mask {
+			t.slots[i] = s
+			i = j
+		}
 	}
-	ns.elems = append(ns.elems, idxElem{src: src, seq: seq, next: next})
-	if next == 0 {
-		ns.tail[c] = e
-	}
+	t.slots[i] = adTabSlot{}
+	return e
 }
 
-// unlink removes element e (whose predecessor in chain c is prev, 0 for
-// the head) and returns its successor.
-func (ns *nodeState) unlink(c content.Class, prev, e int32) int32 {
-	next := ns.elems[e-1].next
-	if prev == 0 {
-		ns.head[c] = next
-	} else {
-		ns.elems[prev-1].next = next
+func (t *adTable) grow() {
+	old := t.slots
+	size := 2 * len(old)
+	if size < 16 {
+		size = 16
 	}
-	if next == 0 {
-		ns.tail[c] = prev
-	}
-	return next
-}
-
-// aggOr folds snap's filter into the aggregate unions of its topics. Bits
-// are never cleared, so each union stays a superset of every filter folded
-// in — the property the complement-class skip in Search relies on.
-func (ns *nodeState) aggOr(snap *adSnapshot) {
-	if !ns.aggOn {
-		return
-	}
-	if ns.agg == nil {
-		ns.agg = make([]uint64, content.NumClasses*aggStride)
-	}
-	for t := uint16(snap.topics); t != 0; t &= t - 1 {
-		c := bits.TrailingZeros16(t)
-		snap.filter.UnionInto(ns.agg[c*aggStride : (c+1)*aggStride])
-	}
-}
-
-// noteAgg keeps the aggregates current after a cache insert/replace. A
-// warm-up store (now < 0) only marks them stale: the warm-up flood pushes
-// far more ads through each node than its cache keeps, so folding every
-// insertion eagerly mostly unions filters that are evicted again before
-// anything reads the aggregate. scanClasses rebuilds from the surviving
-// entries on first use — the same monotone-superset property, a fraction
-// of the union work, and one rebuild per node per run (replay-time stores
-// go back to incremental folding).
-func (ns *nodeState) noteAgg(snap *adSnapshot, now sim.Clock) {
-	if now < 0 {
-		ns.aggStale = true
-		return
-	}
-	ns.aggOr(snap)
-}
-
-// aggRebuild reconstructs the per-class aggregate unions from the live
-// cache, clearing the stale mark. Union is commutative, so cache iteration
-// order does not matter; the result depends only on the cache contents.
-func (ns *nodeState) aggRebuild() {
-	ns.aggStale = false
-	if !ns.aggOn {
-		return
-	}
-	if ns.agg == nil {
-		ns.agg = make([]uint64, content.NumClasses*aggStride)
-	} else {
-		clear(ns.agg)
-	}
-	for _, e := range ns.cache {
-		ns.aggOr(e.snap)
-	}
-}
-
-// maybeCompact rebuilds the posting arena once dead (unlinked or
-// invalidated) elements dominate it, bounding index memory under cache
-// churn. Rebuilding in fifo order restores the ascending-seq invariant.
-func (ns *nodeState) maybeCompact() {
-	if ns.deadElems < 64 || int(ns.deadElems)*2 < len(ns.elems) {
-		return
-	}
-	ns.elems = ns.elems[:0]
-	for i := range ns.head {
-		ns.head[i], ns.tail[i] = 0, 0
-	}
-	ns.deadElems = 0
-	for _, src := range ns.fifo {
-		if e, ok := ns.cache[src]; ok {
-			ns.idxInsert(src, e.seq, e.snap.topics)
+	t.slots = make([]adTabSlot, size)
+	t.n = 0
+	for _, s := range old {
+		if s.key != 0 {
+			t.put(overlay.NodeID(s.key-1), s.e)
 		}
 	}
 }
 
-// scanChains walks the posting chains of the classes in scan and appends
-// the sources whose filters pass every probe. A valid entry is processed
-// exactly once — in the chain of the lowest class of topics ∩ scan — and
-// elements pointing at evicted, superseded or re-topiced entries are
-// unlinked in passing. Called under mu; with scan == allClasses this is
-// the full cache scan in chain order.
-func (ns *nodeState) scanChains(scan content.ClassSet, probes []bloom.Probe, out []overlay.NodeID) []overlay.NodeID {
-	for t := uint16(scan); t != 0; t &= t - 1 {
-		c := content.Class(bits.TrailingZeros16(t))
-		prev := int32(0)
-		for e := ns.head[c]; e != 0; {
-			el := ns.elems[e-1]
-			entry, ok := ns.cache[el.src]
-			if !ok || entry.seq != el.seq || !entry.snap.topics.Has(c) {
-				e = ns.unlink(c, prev, e)
-				continue
-			}
-			prev, e = e, el.next
-			hit := uint16(entry.snap.topics & scan)
-			if content.Class(bits.TrailingZeros16(hit)) != c {
-				continue // processed in its canonical (lowest shared) chain
-			}
-			if entry.snap.filter.ContainsAllProbes(probes) {
-				out = append(out, el.src)
-			}
+// entry returns the cache entry for src, or nil. Called under mu (or on the
+// runner thread inside an apply section).
+func (ns *nodeState) entry(src overlay.NodeID) *cachedAd { return ns.tab.get(src) }
+
+// cacheLen returns the cache population.
+func (ns *nodeState) cacheLen() int { return ns.tab.n }
+
+// scanCache appends the sources of cached ads whose filters pass every
+// query probe, in fifo (insertion) order — phase 1's candidate scan.
+// Called under mu.
+func (ns *nodeState) scanCache(qa *queryAcc, out []overlay.NodeID) []overlay.NodeID {
+	for _, src := range ns.fifo {
+		e := ns.tab.get(src)
+		if e == nil {
+			continue
+		}
+		if qa.matches(e.snap) {
+			out = append(out, src)
 		}
 	}
 	return out
 }
 
 // serveAds appends up to max cached snapshots whose topics intersect
-// interests, in fifo (ascending-seq) order, skipping entries staler than
-// staleBefore, the requester's own ad, and — on search-time pulls — ads
-// failing the query probes. It merges the interest-class chains by seq,
-// which enumerates exactly the entries a full fifo walk with the same
-// predicate would, in the same order. Called under mu.
-func (ns *nodeState) serveAds(buf []*adSnapshot, interests content.ClassSet, staleBefore sim.Clock, probes []bloom.Probe, requester overlay.NodeID, max int) []*adSnapshot {
-	var cur, prv [content.NumClasses]int32
-	var cls [content.NumClasses]content.Class
-	nc := 0
-	for t := uint16(interests); t != 0; t &= t - 1 {
-		c := content.Class(bits.TrailingZeros16(t))
-		if ns.head[c] != 0 {
-			cls[nc], cur[nc] = c, ns.head[c]
-			nc++
-		}
-	}
-	for len(buf) < max {
-		best := -1
-		var bestSeq uint32
-		for i := 0; i < nc; i++ {
-			if cur[i] == 0 {
-				continue
-			}
-			if sq := ns.elems[cur[i]-1].seq; best < 0 || sq < bestSeq {
-				best, bestSeq = i, sq
-			}
-		}
-		if best < 0 {
+// interests, in fifo (insertion) order, skipping entries staler than
+// staleBefore, the requester's own ad, and — on search-time pulls
+// (qa != nil) — ads failing the query probes. Called under mu. Insertion
+// order matters: under MaxAdsPerReply the subset offered must not depend
+// on anything but replay state, or two replays of one run diverge.
+func (ns *nodeState) serveAds(qa *queryAcc, buf []*adSnapshot, interests content.ClassSet, staleBefore sim.Clock, requester overlay.NodeID, max int) []*adSnapshot {
+	for _, src := range ns.fifo {
+		if len(buf) >= max {
 			break
 		}
-		c, e := cls[best], cur[best]
-		el := ns.elems[e-1]
-		entry, ok := ns.cache[el.src]
-		if !ok || entry.seq != el.seq || !entry.snap.topics.Has(c) {
-			cur[best] = ns.unlink(c, prv[best], e)
+		e := ns.tab.get(src)
+		if e == nil || !e.snap.topics.Intersects(interests) {
 			continue
 		}
-		prv[best], cur[best] = e, el.next
-		if hit := uint16(entry.snap.topics & interests); content.Class(bits.TrailingZeros16(hit)) != c {
-			continue // offered from its canonical chain
-		}
-		if entry.lastSeen < staleBefore || entry.snap.src == requester {
+		if e.lastSeen < staleBefore || e.snap.src == requester {
 			continue
 		}
-		if probes != nil && !entry.snap.filter.ContainsAllProbes(probes) {
+		if qa != nil && !qa.matches(e.snap) {
 			continue
 		}
-		buf = append(buf, entry.snap)
+		buf = append(buf, e.snap)
 	}
 	return buf
 }
-
-// scanClasses returns the classes whose chains phase 1 must scan: the
-// query's own keyword classes plus every complement class whose aggregate
-// union passes all probes. Keywords are class-scoped (ClassOfKeyword is
-// exact), so an ad that truly contains every query term carries at least
-// one query class among its topics. An ad that merely Bloom-false-
-// -positives the probes has a filter that is a subset of each of its topic
-// unions, so those unions pass the probes too and its chains are scanned —
-// the candidate set is exactly the linear scan's, false positives
-// included. Without aggregates (variable filter geometries, or an empty
-// cache history) every class is scanned. The scan-set choice never changes
-// search output, only how much of the cache is touched: any entry whose
-// filter passes the probes has every one of its topic-class unions passing
-// too (its filter is a subset of each), so its canonical chain — and with
-// it the candidate set and order — is the same under any scan superset.
-func (s *Scheme) scanClasses(ns *nodeState, terms []content.Keyword, probes []bloom.Probe) content.ClassSet {
-	if !ns.aggOn {
-		return allClasses
-	}
-	if ns.aggStale {
-		ns.aggRebuild()
-	}
-	if ns.agg == nil {
-		return allClasses
-	}
-	var q content.ClassSet
-	for _, t := range terms {
-		q = q.Add(s.sys.U.ClassOfKeyword(t))
-	}
-	scan := q
-	for c := Class(0); c < content.NumClasses; c++ {
-		if q.Has(c) {
-			continue
-		}
-		if bloom.WordsContainAllProbes(ns.agg[int(c)*aggStride:(int(c)+1)*aggStride], probes) {
-			scan = scan.Add(c)
-		}
-	}
-	return scan
-}
-
-// Class aliases content.Class for the loop above.
-type Class = content.Class

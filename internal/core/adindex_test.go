@@ -15,7 +15,8 @@ import (
 // idxSnap builds a snapshot whose filter holds the given keys. Tests keep
 // keys class-scoped by convention (class c owns keys c*1000+1 …
 // c*1000+999), mirroring the production invariant that an ad's filter only
-// contains keywords of its topic classes.
+// contains keywords of its topic classes. The snapshot is unslotted; churn
+// helpers register it with a test adSlots when slotting is under test.
 func idxSnap(src overlay.NodeID, version uint16, topics content.ClassSet, keys []uint64) *adSnapshot {
 	f := bloom.NewDefault()
 	for _, k := range keys {
@@ -44,23 +45,30 @@ func classKeys(rng *rand.Rand, topics content.ClassSet) []uint64 {
 	return keys
 }
 
-// churn applies one random cache mutation and returns the version counter
-// map it maintains.
-func churnStep(rng *rand.Rand, ns *nodeState, vers map[overlay.NodeID]uint16, now sim.Clock, capacity int) {
+// churnStep applies one random cache mutation, maintaining the version
+// counter map. Freshly built snapshots register with slots three times out
+// of four (when given), so slotted and unslotted (scalar-fallback) ads mix
+// in every cache under test.
+func churnStep(rng *rand.Rand, ns *nodeState, slots *adSlots, vers map[overlay.NodeID]uint16, now sim.Clock, capacity int) {
 	src := overlay.NodeID(rng.IntN(120))
+	mkSnap := func(version uint16, topics content.ClassSet) *adSnapshot {
+		sn := idxSnap(src, version, topics, classKeys(rng, topics))
+		if slots != nil && rng.IntN(4) != 0 {
+			slots.register(sn)
+		}
+		return sn
+	}
 	switch rng.IntN(8) {
 	case 0, 1, 2, 3: // full ad (insert or replace), sometimes with new topics
 		vers[src]++
-		topics := randTopics(rng)
-		ns.store(idxSnap(src, vers[src], topics, classKeys(rng, topics)), adFull, now, capacity)
+		ns.store(mkSnap(vers[src], randTopics(rng)), adFull, now, capacity)
 	case 4: // sequential patch with possibly different topics
-		if cur, ok := ns.cache[src]; ok {
+		if cur := ns.entry(src); cur != nil {
 			vers[src] = cur.snap.version + 1
-			topics := randTopics(rng)
-			ns.store(idxSnap(src, vers[src], topics, classKeys(rng, topics)), adPatch, now, capacity)
+			ns.store(mkSnap(vers[src], randTopics(rng)), adPatch, now, capacity)
 		}
 	case 5: // refresh
-		if cur, ok := ns.cache[src]; ok {
+		if cur := ns.entry(src); cur != nil {
 			ns.store(cur.snap, adRefresh, now, capacity)
 		}
 	case 6:
@@ -70,19 +78,20 @@ func churnStep(rng *rand.Rand, ns *nodeState, vers map[overlay.NodeID]uint16, no
 	}
 }
 
-// TestScanChainsMatchesLinearScan is the tentpole's exactness property:
-// across random caches under churn and eviction, the topic-indexed lookup
-// (query classes plus aggregate-passing complement classes) returns
-// exactly the candidate set of a reference linear scan — same members,
-// same order after a deterministic sort.
-func TestScanChainsMatchesLinearScan(t *testing.T) {
+// TestScanCacheMatchesLinearScan is the tentpole's exactness property:
+// across random caches under churn, eviction, and a mixed slotted/unslotted
+// ad population, the bit-sliced accumulator scan returns exactly the
+// candidate set of the scalar reference walk — same members, same order.
+func TestScanCacheMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 23))
-	ns := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), aggOn: true, minSeen: maxClock}
+	ns := &nodeState{minSeen: maxClock}
+	slots := &adSlots{}
 	vers := make(map[overlay.NodeID]uint16)
+	var qa queryAcc
 	const capacity = 40
 
 	for i := 0; i < 4000; i++ {
-		churnStep(rng, ns, vers, sim.Clock(i), capacity)
+		churnStep(rng, ns, slots, vers, sim.Clock(i), capacity)
 		if i%7 != 0 {
 			continue
 		}
@@ -94,53 +103,31 @@ func TestScanChainsMatchesLinearScan(t *testing.T) {
 		keys := classKeys(rng, qClasses)
 		probes := bloom.AppendKeyProbes(nil, keys)
 
-		// Scan set as Search computes it: query classes plus complement
-		// classes whose aggregate union passes every probe.
-		scan := qClasses
-		if ns.agg != nil {
-			for c := content.Class(0); c < content.NumClasses; c++ {
-				if !qClasses.Has(c) && bloom.WordsContainAllProbes(ns.agg[int(c)*aggStride:(int(c)+1)*aggStride], probes) {
-					scan = scan.Add(c)
-				}
-			}
-		} else {
-			scan = allClasses
-		}
-
-		var want []overlay.NodeID
-		for src, e := range ns.cache {
-			if e.snap.filter.ContainsAllProbes(probes) {
-				want = append(want, src)
-			}
-		}
-		got := ns.scanChains(scan, probes, nil)
-		full := ns.scanChains(allClasses, probes, nil)
-		slices.Sort(want)
-		slices.Sort(got)
-		slices.Sort(full)
+		qa.reset(slots, probes)
+		got := ns.scanCache(&qa, nil)
+		want := scanCacheReference(ns, probes)
 		if !slices.Equal(got, want) {
-			t.Fatalf("step %d: indexed scan %v != linear scan %v (scan=%b)", i, got, want, scan)
-		}
-		if !slices.Equal(full, want) {
-			t.Fatalf("step %d: full chain scan %v != linear scan %v", i, full, want)
+			t.Fatalf("step %d: sliced scan %v != reference scan %v", i, got, want)
 		}
 	}
 }
 
-// TestServeAdsMatchesFifoWalk: the chain merge that builds an ads reply
-// enumerates exactly the snapshots a full fifo walk with the same
-// predicate would, in the same order, under every combination of interest
-// sets, staleness cut-offs, probe filtering, requester exclusion and
-// reply caps.
+// TestServeAdsMatchesFifoWalk: the reply assembly enumerates exactly the
+// snapshots the reference fifo walk with the same predicate would, in the
+// same order, under every combination of interest sets, staleness
+// cut-offs, probe filtering, requester exclusion and reply caps — with
+// both the accumulator path (search pull) and the nil path (join pull).
 func TestServeAdsMatchesFifoWalk(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 17))
-	ns := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), aggOn: true, minSeen: maxClock}
+	ns := &nodeState{minSeen: maxClock}
+	slots := &adSlots{}
 	vers := make(map[overlay.NodeID]uint16)
+	var qacc queryAcc
 	const capacity = 40
 
 	var buf []*adSnapshot
 	for i := 0; i < 4000; i++ {
-		churnStep(rng, ns, vers, sim.Clock(i), capacity)
+		churnStep(rng, ns, slots, vers, sim.Clock(i), capacity)
 		if i%5 != 0 {
 			continue
 		}
@@ -150,35 +137,20 @@ func TestServeAdsMatchesFifoWalk(t *testing.T) {
 		}
 		staleBefore := sim.Clock(i - rng.IntN(600))
 		var probes []bloom.Probe
+		var qa *queryAcc
 		if rng.IntN(2) == 0 { // search-time pull; nil = join-time pull
 			probes = bloom.AppendKeyProbes(nil, classKeys(rng, randTopics(rng)))
+			qacc.reset(slots, probes)
+			qa = &qacc
 		}
 		requester := overlay.NodeID(rng.IntN(120))
 		max := 1 + rng.IntN(8)
 
-		var want []*adSnapshot
-		count := 0
-		for _, src := range ns.fifo {
-			e := ns.cache[src]
-			if e.lastSeen < staleBefore {
-				continue
-			}
-			if count >= max {
-				break
-			}
-			if e.snap.src == requester || !e.snap.topics.Intersects(interests) {
-				continue
-			}
-			if probes != nil && !e.snap.filter.ContainsAllProbes(probes) {
-				continue
-			}
-			want = append(want, e.snap)
-			count++
-		}
-		got := ns.serveAds(buf[:0], interests, staleBefore, probes, requester, max)
+		want := serveAdsReference(ns, interests, staleBefore, probes, requester, max)
+		got := ns.serveAds(qa, buf[:0], interests, staleBefore, requester, max)
 		buf = got
 		if !slices.Equal(got, want) {
-			t.Fatalf("step %d: serveAds returned %d ads, fifo walk %d (interests=%b max=%d)", i, len(got), len(want), interests, max)
+			t.Fatalf("step %d: serveAds returned %d ads, fifo reference %d (interests=%b max=%d)", i, len(got), len(want), interests, max)
 		}
 	}
 }
@@ -188,8 +160,8 @@ func TestServeAdsMatchesFifoWalk(t *testing.T) {
 // state versus sweeping unconditionally on every query.
 func TestDropStaleWatermarkGateEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 9))
-	gated := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), minSeen: maxClock}
-	ref := &nodeState{cache: make(map[overlay.NodeID]*cachedAd), minSeen: maxClock}
+	gated := &nodeState{minSeen: maxClock}
+	ref := &nodeState{minSeen: maxClock}
 	const capacity = 25
 
 	for i := 0; i < 3000; i++ {
@@ -212,15 +184,88 @@ func TestDropStaleWatermarkGateEquivalence(t *testing.T) {
 			if !slices.Equal(gated.fifo, ref.fifo) {
 				t.Fatalf("step %d: fifo diverged: %v vs %v", i, gated.fifo, ref.fifo)
 			}
-			for k, v := range ref.cache {
-				if g, ok := gated.cache[k]; !ok || g.lastSeen != v.lastSeen || g.snap != v.snap {
+			for _, k := range ref.fifo {
+				v := ref.entry(k)
+				if g := gated.entry(k); g == nil || g.lastSeen != v.lastSeen || g.snap != v.snap {
 					t.Fatalf("step %d: cache diverged at %d", i, k)
 				}
 			}
-			if len(gated.cache) != len(ref.cache) {
+			if gated.cacheLen() != ref.cacheLen() {
 				t.Fatalf("step %d: cache sizes diverged", i)
 			}
 		}
+	}
+}
+
+// TestAdTableBasics pins the flat table's semantics directly: put/get/del
+// round-trips, replacement, growth past many inserts, and backward-shift
+// deletion keeping every surviving key reachable.
+func TestAdTableBasics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 4))
+	var tab adTable
+	ref := make(map[overlay.NodeID]*cachedAd)
+	for i := 0; i < 20000; i++ {
+		src := overlay.NodeID(rng.IntN(300))
+		switch rng.IntN(3) {
+		case 0, 1:
+			e := &cachedAd{lastSeen: sim.Clock(i)}
+			tab.put(src, e)
+			ref[src] = e
+		case 2:
+			got := tab.del(src)
+			want := ref[src]
+			delete(ref, src)
+			if got != want {
+				t.Fatalf("step %d: del(%d) = %p, want %p", i, src, got, want)
+			}
+		}
+		if tab.n != len(ref) {
+			t.Fatalf("step %d: table n=%d, reference %d", i, tab.n, len(ref))
+		}
+		if i%500 == 0 {
+			for k, v := range ref {
+				if tab.get(k) != v {
+					t.Fatalf("step %d: get(%d) lost entry after churn", i, k)
+				}
+			}
+		}
+	}
+	for k, v := range ref {
+		if tab.get(k) != v {
+			t.Fatalf("final: get(%d) != reference", k)
+		}
+	}
+	if tab.get(overlay.NodeID(301)) != nil {
+		t.Fatal("get of never-inserted key returned an entry")
+	}
+}
+
+// TestAdSlotsRegister: same-geometry filters share one group, new
+// geometries open new groups up to maxSigGroups, and overflow geometries
+// stay unslotted (the scalar-fallback path).
+func TestAdSlotsRegister(t *testing.T) {
+	slots := &adSlots{}
+	a := &adSnapshot{filter: bloom.NewDefault()}
+	b := &adSnapshot{filter: bloom.NewDefault()}
+	slots.register(a)
+	slots.register(b)
+	if a.sigSlot != 1 || b.sigSlot != 2 || a.sigGroup != b.sigGroup {
+		t.Fatalf("same geometry split groups: a=(%d,%d) b=(%d,%d)", a.sigGroup, a.sigSlot, b.sigGroup, b.sigSlot)
+	}
+	for m := 0; m < maxSigGroups-1; m++ {
+		sn := &adSnapshot{filter: bloom.New(64+m+1, 2)}
+		slots.register(sn)
+		if sn.sigSlot != 1 {
+			t.Fatalf("new geometry %d not slotted at lane 1", m)
+		}
+	}
+	over := &adSnapshot{filter: bloom.New(8192, 3)}
+	slots.register(over)
+	if over.sigSlot != 0 {
+		t.Fatalf("geometry beyond maxSigGroups got slot %d, want unslotted", over.sigSlot)
+	}
+	if len(slots.groups) != maxSigGroups {
+		t.Fatalf("%d groups, want %d", len(slots.groups), maxSigGroups)
 	}
 }
 
@@ -253,7 +298,7 @@ func TestStaleWindowRegression(t *testing.T) {
 	// At deadline == T the entry is not yet stale (strict <).
 	search(T + window)
 	ns.mu.Lock()
-	_, ok := ns.cache[src]
+	ok := ns.entry(src) != nil
 	ns.mu.Unlock()
 	if !ok {
 		t.Fatalf("entry expired at exactly window boundary; want survival (lastSeen < deadline is strict)")
@@ -261,7 +306,7 @@ func TestStaleWindowRegression(t *testing.T) {
 	// One millisecond later it is.
 	search(T + window + 1)
 	ns.mu.Lock()
-	_, ok = ns.cache[src]
+	ok = ns.entry(src) != nil
 	ns.mu.Unlock()
 	if ok {
 		t.Fatalf("entry still cached %d ms past its staleness window", 1)

@@ -12,52 +12,17 @@ import (
 	"asap/internal/trace"
 )
 
-// chainScanReference is the straight-line specification of phase 1's cache
-// lookup: every cached source whose filter passes all probes, regardless
-// of topic chains, aggregates or index state.
-func chainScanReference(ns *nodeState, probes []bloom.Probe) []overlay.NodeID {
-	var out []overlay.NodeID
-	for src, e := range ns.cache {
-		if e.snap.filter.ContainsAllProbes(probes) {
-			out = append(out, src)
-		}
-	}
-	slices.Sort(out)
-	return out
-}
-
-// serveAdsReference is the straight-line specification of serveAds: walk
-// the fifo in insertion order and offer every fresh, interest-matching,
-// probe-passing entry except the requester's own, up to max.
-func serveAdsReference(ns *nodeState, interests content.ClassSet, staleBefore sim.Clock, probes []bloom.Probe, requester overlay.NodeID, max int) []*adSnapshot {
-	var out []*adSnapshot
-	for _, src := range ns.fifo {
-		if len(out) >= max {
-			break
-		}
-		e, ok := ns.cache[src]
-		if !ok || !e.snap.topics.Intersects(interests) {
-			continue
-		}
-		if e.lastSeen < staleBefore || e.snap.src == requester {
-			continue
-		}
-		if probes != nil && !e.snap.filter.ContainsAllProbes(probes) {
-			continue
-		}
-		out = append(out, e.snap)
-	}
-	return out
-}
-
 // TestIndexedCacheEquivalenceUnderChurnAndLoss replays the shared test
 // trace — joins, leaves, content churn and lossy searches all active at
 // once — against a deliberately tiny cache, and continually checks the
-// posting-chain index against the linear-scan specification. The regime
-// exercises exactly the paths that can desynchronise the index from the
-// cache: FIFO eviction (tiny capacity), dead-source eviction after failed
-// confirmations (loss plane), staleness expiry, patch re-topicing, and
-// arena compaction once dead elements dominate.
+// bit-sliced signature scan against the scalar linear-scan specification
+// (oracle_test.go). The regime exercises exactly the paths that can
+// desynchronise the signature index from the caches: FIFO eviction (tiny
+// capacity), dead-source eviction after failed confirmations (loss plane),
+// staleness expiry, patch snapshot swaps, and the steady growth of the
+// global slot matrix as republished ads register new signatures. Run under
+// -race it additionally validates that concurrent searches share the
+// frozen matrices safely.
 func TestIndexedCacheEquivalenceUnderChurnAndLoss(t *testing.T) {
 	sys := sim.NewSystem(testU, testTr, overlay.Crawled, testNet, 77)
 	sys.SetFaults(faults.New(faults.Config{Seed: 77, LossRate: 0.05}))
@@ -70,6 +35,7 @@ func TestIndexedCacheEquivalenceUnderChurnAndLoss(t *testing.T) {
 	// node is additionally audited around each of its searches.
 	sample := []overlay.NodeID{1, 17, 99, 250, 399}
 
+	var qa queryAcc
 	verify := func(where string, p overlay.NodeID, now sim.Clock, terms []content.Keyword) {
 		ns := &s.nodes[p]
 		var keys []uint64
@@ -77,21 +43,21 @@ func TestIndexedCacheEquivalenceUnderChurnAndLoss(t *testing.T) {
 			keys = append(keys, uint64(term))
 		}
 		probes := bloom.AppendKeyProbes(nil, keys)
+		qa.reset(&s.slots, probes)
 
 		ns.mu.Lock()
 		defer ns.mu.Unlock()
 
-		got := append([]overlay.NodeID(nil), ns.scanChains(s.scanClasses(ns, terms, probes), probes, nil)...)
-		slices.Sort(got)
-		want := chainScanReference(ns, probes)
+		got := append([]overlay.NodeID(nil), ns.scanCache(&qa, nil)...)
+		want := scanCacheReference(ns, probes)
 		if !slices.Equal(got, want) {
-			t.Fatalf("%s: node %d at t=%d: indexed scan %v != linear scan %v", where, p, now, got, want)
+			t.Fatalf("%s: node %d at t=%d: sliced scan %v != linear scan %v", where, p, now, got, want)
 		}
 
 		interests := s.groupInterests(p)
 		staleBefore := now - sim.Clock(cfg.StaleFactor*cfg.RefreshPeriodSec)*1000
 		for _, max := range []int{1, 4, 1 << 30} {
-			gotAds := ns.serveAds(nil, interests, staleBefore, probes, p, max)
+			gotAds := ns.serveAds(&qa, nil, interests, staleBefore, p, max)
 			wantAds := serveAdsReference(ns, interests, staleBefore, probes, p, max)
 			if !slices.Equal(gotAds, wantAds) {
 				t.Fatalf("%s: node %d at t=%d max=%d: serveAds %d entries, fifo reference %d", where, p, now, max, len(gotAds), len(wantAds))

@@ -79,7 +79,7 @@ func snap(src overlay.NodeID, version uint16, topics content.ClassSet) *adSnapsh
 }
 
 func newNS() *nodeState {
-	return &nodeState{cache: make(map[overlay.NodeID]*cachedAd)}
+	return &nodeState{}
 }
 
 func TestStoreFullAndReplace(t *testing.T) {
@@ -88,20 +88,20 @@ func TestStoreFullAndReplace(t *testing.T) {
 	if got := ns.store(a1, adFull, 100, 10); got != storedOK {
 		t.Fatalf("store full = %v", got)
 	}
-	if ns.cache[5].snap != a1 || ns.cache[5].lastSeen != 100 {
+	if e := ns.entry(5); e.snap != a1 || e.lastSeen != 100 {
 		t.Fatal("entry not cached")
 	}
 	a2 := snap(5, 2, 1)
 	ns.store(a2, adFull, 200, 10)
-	if ns.cache[5].snap != a2 {
+	if ns.entry(5).snap != a2 {
 		t.Fatal("newer full did not replace")
 	}
 	// An older full arriving late must not clobber the newer one.
 	ns.store(a1, adFull, 300, 10)
-	if ns.cache[5].snap != a2 {
+	if ns.entry(5).snap != a2 {
 		t.Fatal("stale full clobbered newer version")
 	}
-	if ns.cache[5].lastSeen != 300 {
+	if ns.entry(5).lastSeen != 300 {
 		t.Fatal("stale full should still bump freshness")
 	}
 	if len(ns.fifo) != 1 {
@@ -121,7 +121,7 @@ func TestStorePatchSemantics(t *testing.T) {
 	if got := ns.store(p2, adPatch, 10, 10); got != storedOK {
 		t.Fatalf("sequential patch = %v", got)
 	}
-	if ns.cache[7].snap != p2 {
+	if ns.entry(7).snap != p2 {
 		t.Fatal("patch did not advance snapshot")
 	}
 	// Version gap demands a full fetch.
@@ -132,7 +132,7 @@ func TestStorePatchSemantics(t *testing.T) {
 	if got := ns.store(snap(7, 1, 1), adPatch, 30, 10); got != storedOK {
 		t.Fatal("stale patch should be absorbed")
 	}
-	if ns.cache[7].snap != p2 {
+	if ns.entry(7).snap != p2 {
 		t.Fatal("stale patch rewound the snapshot")
 	}
 }
@@ -147,7 +147,7 @@ func TestStoreRefreshSemantics(t *testing.T) {
 	if got := ns.store(snap(3, 1, 1), adRefresh, 50, 10); got != storedOK {
 		t.Fatal("same-version refresh failed")
 	}
-	if ns.cache[3].lastSeen != 50 {
+	if ns.entry(3).lastSeen != 50 {
 		t.Fatal("refresh did not bump freshness")
 	}
 	if got := ns.store(snap(3, 4, 1), adRefresh, 60, 10); got != storedGap {
@@ -177,17 +177,17 @@ func TestFIFOEviction(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		ns.store(snap(overlay.NodeID(i), 1, 1), adFull, int64(i), 3)
 	}
-	if len(ns.cache) != 3 {
-		t.Fatalf("cache size %d, want capacity 3", len(ns.cache))
+	if ns.cacheLen() != 3 {
+		t.Fatalf("cache size %d, want capacity 3", ns.cacheLen())
 	}
 	// Oldest insertions (0, 1) must be gone.
 	for _, gone := range []overlay.NodeID{0, 1} {
-		if _, ok := ns.cache[gone]; ok {
+		if ns.entry(gone) != nil {
 			t.Errorf("source %d survived FIFO eviction", gone)
 		}
 	}
 	for _, kept := range []overlay.NodeID{2, 3, 4} {
-		if _, ok := ns.cache[kept]; !ok {
+		if ns.entry(kept) == nil {
 			t.Errorf("source %d evicted out of order", kept)
 		}
 	}
@@ -198,10 +198,10 @@ func TestDropStale(t *testing.T) {
 	ns.store(snap(1, 1, 1), adFull, 100, 10)
 	ns.store(snap(2, 1, 1), adFull, 500, 10)
 	ns.dropStale(300)
-	if _, ok := ns.cache[1]; ok {
+	if ns.entry(1) != nil {
 		t.Error("stale entry survived")
 	}
-	if _, ok := ns.cache[2]; !ok {
+	if ns.entry(2) == nil {
 		t.Error("fresh entry dropped")
 	}
 	if len(ns.fifo) != 1 {

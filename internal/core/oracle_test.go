@@ -1,0 +1,57 @@
+package core
+
+import (
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// Shared straight-line reference implementations ("oracles") of the cache
+// scans, used by the index/churn/store property tests. Each is the
+// specification the optimised path must match exactly — a plain fifo walk
+// with scalar Bloom probing, no signature index, no accumulator.
+
+// scanCacheReference is the specification of phase 1's cache lookup: every
+// cached source whose filter passes all probes, in fifo (insertion) order —
+// the same candidates in the same order scanCache must produce.
+func scanCacheReference(ns *nodeState, probes []bloom.Probe) []overlay.NodeID {
+	var out []overlay.NodeID
+	for _, src := range ns.fifo {
+		e := ns.entry(src)
+		if e != nil && e.snap.filter.ContainsAllProbes(probes) {
+			out = append(out, src)
+		}
+	}
+	return out
+}
+
+// serveAdsReference is the specification of serveAds: walk the fifo in
+// insertion order and offer every fresh, interest-matching, probe-passing
+// entry except the requester's own, up to max. probes == nil is a
+// join-time pull (no probe filtering).
+func serveAdsReference(ns *nodeState, interests content.ClassSet, staleBefore sim.Clock, probes []bloom.Probe, requester overlay.NodeID, max int) []*adSnapshot {
+	var out []*adSnapshot
+	for _, src := range ns.fifo {
+		if len(out) >= max {
+			break
+		}
+		e := ns.entry(src)
+		if e == nil || !e.snap.topics.Intersects(interests) {
+			continue
+		}
+		if e.lastSeen < staleBefore || e.snap.src == requester {
+			continue
+		}
+		if probes != nil && !e.snap.filter.ContainsAllProbes(probes) {
+			continue
+		}
+		out = append(out, e.snap)
+	}
+	return out
+}
+
+// cacheSources returns the cached sources in fifo order (test inspection).
+func cacheSources(ns *nodeState) []overlay.NodeID {
+	return append([]overlay.NodeID(nil), ns.fifo...)
+}

@@ -40,6 +40,17 @@ type Scheme struct {
 	floodQ []floodItem
 	wlkBuf []overlay.NodeID
 
+	// slots is the global signature index (see adindex.go): every published
+	// snapshot's filter is bit-sliced into the matrix of its geometry, so
+	// searches match cached ads by word-parallel bit tests. Written on the
+	// runner thread only (publishWith), frozen during query batches.
+	slots adSlots
+
+	// patchBuf is the pooled diff buffer of publishWith (runner thread
+	// only): one publish per content change all replay long reuses its
+	// position slices instead of allocating a fresh patch.
+	patchBuf bloom.Patch
+
 	// applyVer is the delivery-plane seqlock: odd while a runner-thread
 	// write section (a delivery, a publish, a graceful-leave eviction) is
 	// open. The runner's query-batch barrier guarantees such sections never
@@ -52,6 +63,10 @@ type Scheme struct {
 	// scratch pools per-query working sets; see searchScratch.
 	scratch sync.Pool
 }
+
+// The runner coalesces same-second same-node content runs for schemes that
+// opt in; Scheme does (ContentChangedBatch).
+var _ sim.ContentBatcher = (*Scheme)(nil)
 
 // New returns an ASAP scheme with the given configuration. It panics on an
 // invalid configuration.
@@ -103,8 +118,6 @@ func (s *Scheme) Attach(sys *sim.System) {
 
 	for v := 0; v < n; v++ {
 		ns := &s.nodes[v]
-		ns.cache = make(map[overlay.NodeID]*cachedAd, min(s.cfg.CacheCapacity, 128))
-		ns.aggOn = !s.cfg.VariableFilters // unions need one filter geometry
 		ns.minSeen = maxClock
 		ns.dirty = true
 		for _, d := range sys.Docs(overlay.NodeID(v)) {
@@ -239,11 +252,11 @@ func (s *Scheme) publishWith(n overlay.NodeID, prebuilt *bloom.Filter) *adSnapsh
 	patchWire := 0
 	if old != nil {
 		if old.filter.Bits() == f.Bits() {
-			patch := old.filter.Diff(f)
-			if patch.Empty() && old.topics == topics {
+			old.filter.AppendDiff(f, &s.patchBuf)
+			if s.patchBuf.Empty() && old.topics == topics {
 				return nil // no index change worth advertising
 			}
-			patchWire = patch.WireSize()
+			patchWire = s.patchBuf.WireSize()
 		} else {
 			// Variable sizing crossed a pool boundary: no patch exists
 			// across geometries, so the update ships as a full ad.
@@ -259,6 +272,7 @@ func (s *Scheme) publishWith(n overlay.NodeID, prebuilt *bloom.Filter) *adSnapsh
 		fullWire:  f.WireSize(),
 		patchWire: patchWire,
 	}
+	s.slots.register(snap)
 	ns.published = snap
 	return snap
 }
@@ -316,6 +330,30 @@ func (s *Scheme) ContentChanged(t sim.Clock, n overlay.NodeID, d content.DocID, 
 		ns.classCnt[cls]++
 	} else if ns.classCnt[cls] > 0 {
 		ns.classCnt[cls]--
+	}
+	if !s.sys.G.Alive(n) {
+		return
+	}
+	s.republishAndDeliver(t, s.repr(n))
+}
+
+// ContentChangedBatch implements sim.ContentBatcher: a same-second run of
+// content changes at one node folds into a single republish — the document
+// counts advance through the whole run first, then one patch ad (carrying
+// the net filter change) is published and delivered at the run's last
+// event time. No other node can observe the intermediate states: the
+// runner coalesces only consecutive events with no query, tick, or other
+// state event between them.
+func (s *Scheme) ContentChangedBatch(t sim.Clock, n overlay.NodeID, docs []content.DocID, added []bool) {
+	ns := &s.nodes[n]
+	ns.dirty = true
+	for i, d := range docs {
+		cls := s.sys.U.ClassOf(d)
+		if added[i] {
+			ns.classCnt[cls]++
+		} else if ns.classCnt[cls] > 0 {
+			ns.classCnt[cls]--
+		}
 	}
 	if !s.sys.G.Alive(n) {
 		return
@@ -415,8 +453,7 @@ func (s *Scheme) HasCachedAd(p, src overlay.NodeID) bool {
 	ns := &s.nodes[p]
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	_, ok := ns.cache[src]
-	return ok
+	return ns.entry(src) != nil
 }
 
 // CacheSize returns node n's current ads-cache population (diagnostics).
@@ -424,5 +461,5 @@ func (s *Scheme) CacheSize(n overlay.NodeID) int {
 	ns := &s.nodes[n]
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	return len(ns.cache)
+	return ns.cacheLen()
 }

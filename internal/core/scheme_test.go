@@ -235,9 +235,8 @@ func TestStaleAdsExpireAfterDeparture(t *testing.T) {
 	for n := 0; n < testTr.InitialLive && holder < 0; n++ {
 		ns := &s.nodes[n]
 		ns.mu.Lock()
-		for k := range ns.cache {
-			holder, src = overlay.NodeID(n), k
-			break
+		if len(ns.fifo) > 0 {
+			holder, src = overlay.NodeID(n), ns.fifo[0]
 		}
 		ns.mu.Unlock()
 	}
@@ -253,7 +252,7 @@ func TestStaleAdsExpireAfterDeparture(t *testing.T) {
 	s.Search(&trace.Event{Time: 1000 + 2*window, Kind: trace.Query, Node: holder, Terms: []content.Keyword{1}})
 	ns := &s.nodes[holder]
 	ns.mu.Lock()
-	_, still := ns.cache[src]
+	still := ns.entry(src) != nil
 	ns.mu.Unlock()
 	if still {
 		t.Error("departed source's ad survived far past the staleness window")

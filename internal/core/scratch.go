@@ -25,8 +25,12 @@ type searchScratch struct {
 	offers    []adOffer
 	seen      map[overlay.NodeID]int
 	targets   []hopTarget
-	srcs      []overlay.NodeID // phase-1 chain-scan matches
+	srcs      []overlay.NodeID // phase-1 cache-scan matches
 	serve     []*adSnapshot    // per-target ads-reply assembly
+
+	// qa is the query's lazy signature-match accumulator (see adindex.go);
+	// Search rebinds it to the query's probes once they are built.
+	qa queryAcc
 
 	// Epoch-stamped BFS state for hopNeighborhood: visited[v] holds the
 	// epoch of the last traversal that reached v, so the visited set

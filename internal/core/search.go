@@ -53,6 +53,7 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 		sc.keys = append(sc.keys, uint64(term))
 	}
 	sc.probes = bloom.AppendKeyProbes(sc.probes, sc.keys)
+	sc.qa.reset(&s.slots, sc.probes)
 
 	// Hierarchical mode: a leaf routes its request through its super peer
 	// (one extra round trip and two extra messages); the search proper
@@ -107,11 +108,10 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 			ns.dropStale(deadline)
 		}
 	}
-	// Scan only the posting chains that can hold a probe match: the query's
-	// keyword classes, plus complement classes whose aggregate union passes
-	// (Bloom false positives live there). See adindex.go for why this
-	// yields exactly the candidates of a full cache scan.
-	srcs := ns.scanChains(s.scanClasses(ns, ev.Terms, sc.probes), sc.probes, sc.srcs[:0])
+	// Scan the cache in insertion order through the query accumulator: one
+	// word-AND pass per touched signature block, then a bit test per entry
+	// (see adindex.go).
+	srcs := ns.scanCache(&sc.qa, sc.srcs[:0])
 	ns.mu.Unlock()
 	sc.srcs = srcs
 	if len(srcs) > 0 {
@@ -310,6 +310,12 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 		if s.cfg.RefreshPeriodSec > 0 {
 			staleBefore = tA - sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec)*1000
 		}
+		// Search-time pulls filter offered ads through the query
+		// accumulator; join-time pulls (probes == nil) serve unfiltered.
+		var qa *queryAcc
+		if probes != nil {
+			qa = &sc.qa
+		}
 		for _, tg := range targets {
 			q := &s.nodes[tg.node]
 			q.mu.Lock()
@@ -317,14 +323,13 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 			serve := sc.serve[:0]
 			if pub := q.published; pub != nil && s.cfg.MaxAdsPerReply > 0 &&
 				pub.src != p && pub.topics.Intersects(interests) &&
-				(probes == nil || pub.filter.ContainsAllProbes(probes)) {
+				(qa == nil || qa.matches(pub)) {
 				serve = append(serve, pub)
 			}
 			// Serve cache entries in insertion order: under MaxAdsPerReply the
-			// subset offered must not depend on map iteration order, or two
-			// replays of one run diverge. serveAds merges the interest-class
-			// posting chains by insertion sequence, which is that order.
-			serve = q.serveAds(serve, interests, staleBefore, probes, p, s.cfg.MaxAdsPerReply)
+			// subset offered must not depend on anything but replay state, or
+			// two replays of one run diverge.
+			serve = q.serveAds(qa, serve, interests, staleBefore, p, s.cfg.MaxAdsPerReply)
 			q.mu.Unlock()
 			sc.serve = serve
 			payload := 0
@@ -362,7 +367,7 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 	s.checkStable()
 	for _, of := range offers {
 		ns.store(of.snap, adFull, of.avail, s.cfg.CacheCapacity)
-		if probes != nil && of.snap.filter.ContainsAllProbes(probes) {
+		if probes != nil && sc.qa.matches(of.snap) {
 			if i, dup := seen[of.snap.src]; dup {
 				if of.avail < cands[i].avail {
 					cands[i].avail = of.avail

@@ -38,10 +38,10 @@ func TestStoreInvariantsProperty(t *testing.T) {
 			sn := &adSnapshot{src: src, version: uint16(op.Version), topics: 1, filter: f, fullWire: 8, patchWire: 4}
 			ns.store(sn, kind, now, capacity)
 
-			if len(ns.cache) > capacity {
+			if ns.cacheLen() > capacity {
 				return false
 			}
-			if len(ns.fifo) != len(ns.cache) {
+			if len(ns.fifo) != ns.cacheLen() {
 				return false
 			}
 			seen := map[overlay.NodeID]bool{}
@@ -50,11 +50,12 @@ func TestStoreInvariantsProperty(t *testing.T) {
 					return false
 				}
 				seen[k] = true
-				if _, ok := ns.cache[k]; !ok {
+				if ns.entry(k) == nil {
 					return false
 				}
 			}
-			for k, e := range ns.cache {
+			for _, k := range ns.fifo {
+				e := ns.entry(k)
 				if prev, ok := lastVersion[k]; ok && newerVersion(prev, e.snap.version) {
 					return false // version went backwards
 				}
@@ -66,7 +67,7 @@ func TestStoreInvariantsProperty(t *testing.T) {
 			}
 			// Entries that vanished (evicted) reset their history.
 			for k := range lastVersion {
-				if _, ok := ns.cache[k]; !ok {
+				if ns.entry(k) == nil {
 					delete(lastVersion, k)
 					delete(lastSeen, k)
 				}
@@ -89,7 +90,7 @@ func TestStoreGapAlwaysRecoverable(t *testing.T) {
 		if outcome == storedGap {
 			cur := snap(1, newV, 1)
 			ns.store(cur, adFull, 2, 8)
-			return ns.cache[1].snap.version == newV
+			return ns.entry(1).snap.version == newV
 		}
 		return true
 	}

@@ -51,6 +51,18 @@ type GracefulLeaver interface {
 	NodeLeaving(t Clock, n overlay.NodeID)
 }
 
+// ContentBatcher is an optional Scheme extension. When a scheme implements
+// it, the runner coalesces each run of consecutive same-node, same-second
+// ContentAdd/ContentRemove events into one ContentChangedBatch call (system
+// state for the whole run is already applied; t is the run's last event
+// time) instead of per-event ContentChanged calls. Coalescing never spans a
+// query, tick boundary, or any other event, so no observer can distinguish
+// the intermediate states — the scheme is free to advertise the run's net
+// effect once.
+type ContentBatcher interface {
+	ContentChangedBatch(t Clock, n overlay.NodeID, docs []content.DocID, added []bool)
+}
+
 // RunOptions tunes the replay.
 type RunOptions struct {
 	// Workers is the query-batch fan-out; 0 means GOMAXPROCS. Workers=1
@@ -84,23 +96,32 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 		batch = batch[:0]
 	}
 
+	// Hoisted out of the per-event loop: the next tick boundary (so the
+	// common in-second query path is one comparison, not a multiply), the
+	// optional interface assertions, and the batch-notification buffers.
 	curSec := 0
+	nextTick := Clock(1000)
 	sys.Load.SetLive(0, sys.G.LiveCount())
 	advance := func(t Clock) {
-		for int64(curSec+1)*1000 <= t {
+		for nextTick <= t {
 			curSec++
 			sys.Load.SetLive(curSec, sys.G.LiveCount())
 			sch.Tick(int64(curSec) * 1000)
+			nextTick += 1000
 		}
 	}
+	leaver, hasLeaver := sch.(GracefulLeaver)
+	batcher, hasBatcher := sch.(ContentBatcher)
+	var runDocs []content.DocID
+	var runAdded []bool
 
 	evs := sys.Tr.Events
-	for i := range evs {
+	for i := 0; i < len(evs); i++ {
 		ev := &evs[i]
 		if ev.Kind == trace.Query {
 			// Ticks may mutate scheme state; drain the batch before
 			// crossing a second boundary.
-			if int64(curSec+1)*1000 <= ev.Time {
+			if nextTick <= ev.Time {
 				flush()
 				advance(ev.Time)
 			}
@@ -112,10 +133,24 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 		}
 		flush()
 		advance(ev.Time)
-		if ev.Kind == trace.Leave {
-			if lv, ok := sch.(GracefulLeaver); ok {
-				lv.NodeLeaving(ev.Time, ev.Node)
+		if hasBatcher && (ev.Kind == trace.ContentAdd || ev.Kind == trace.ContentRemove) {
+			if run := trace.ContentRun(evs, i); run > 1 {
+				// Coalesce the run: apply every system mutation, then
+				// notify the scheme once at the run's last event time.
+				runDocs, runAdded = runDocs[:0], runAdded[:0]
+				for j := i; j < i+run; j++ {
+					e := &evs[j]
+					sys.ApplyEvent(e)
+					runDocs = append(runDocs, e.Doc)
+					runAdded = append(runAdded, e.Kind == trace.ContentAdd)
+				}
+				batcher.ContentChangedBatch(evs[i+run-1].Time, ev.Node, runDocs, runAdded)
+				i += run - 1
+				continue
 			}
+		}
+		if ev.Kind == trace.Leave && hasLeaver {
+			leaver.NodeLeaving(ev.Time, ev.Node)
 		}
 		sys.ApplyEvent(ev)
 		switch ev.Kind {

@@ -53,6 +53,29 @@ type Event struct {
 	Terms []content.Keyword
 }
 
+// ContentRun returns the length of the maximal run of consecutive content
+// events (ContentAdd/ContentRemove) starting at index i that share evs[i]'s
+// node and virtual second, or 0 when evs[i] is not a content event. Runs
+// are what the replay runner may coalesce into one scheme notification: no
+// query, tick boundary, or foreign event can fall inside one.
+func ContentRun(evs []Event, i int) int {
+	e0 := &evs[i]
+	if e0.Kind != ContentAdd && e0.Kind != ContentRemove {
+		return 0
+	}
+	sec := e0.Time / 1000
+	j := i + 1
+	for j < len(evs) {
+		e := &evs[j]
+		if (e.Kind != ContentAdd && e.Kind != ContentRemove) ||
+			e.Node != e0.Node || e.Time/1000 != sec {
+			break
+		}
+		j++
+	}
+	return j - i
+}
+
 // Trace is a replayable event sequence over a fixed node⇄peer mapping.
 type Trace struct {
 	// Peers maps overlay NodeID → universe PeerID. Nodes
