@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate profile check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate shard-smoke mem-gate profile check
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,21 @@ alloc-gate:
 	$(GO) test -run 'TestObsOffHotPathAllocs' -count=1 .
 	$(GO) test -run 'TestDeliveryHotPathAllocs|TestScanHotPathAllocs' -count=1 ./internal/core
 
+# Sharded-replay equivalence under the race detector: the tiny matrix under
+# churn × 2% loss must be byte-identical to the unsharded Workers=1 replay
+# at every shard count (1, 2, 4 and a non-dividing 7), and the synthetic
+# order-sensitive probe scheme must agree too. -race doubles as a soundness
+# proof of the conflict plan: an undeclared cross-lane overlap is a data race.
+shard-smoke:
+	$(GO) test -race -run 'TestShardedReplayEquivalence|TestShardedDispatcherMatchesSequential' \
+		./internal/experiments ./internal/sim
+
+# Peak-heap gate: one sharded small-scale asap-rw replay must stay inside
+# its live-heap budget (obs.HeapGauge high-water sampling, once per
+# simulated second), so per-node memory creep fails fast.
+mem-gate:
+	$(GO) test -run 'TestSmallReplayPeakHeapBound' -count=1 ./internal/experiments
+
 # Profile a small-scale matrix run; inspect with `go tool pprof out/cpu.pb`.
 profile:
 	mkdir -p out
@@ -87,4 +102,4 @@ profile:
 		-cpuprofile out/cpu.pb -memprofile out/mem.pb -mutexprofile out/mutex.pb
 	@echo "profiles written to out/{cpu,mem,mutex}.pb"
 
-check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate fuzz-smoke
+check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate shard-smoke mem-gate fuzz-smoke

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	asapsim [-scale full|small|tiny] [-scheme name] [-topo name]
-//	        [-trace file] [-workers n] [-seed n] [-series]
+//	asapsim [-scale full|small|tiny|mega] [-scheme name] [-topo name]
+//	        [-trace file] [-workers n] [-shards n] [-seed n] [-series]
 //	        [-seriesdir dir] [-cpuprofile path] [-memprofile path]
 //	        [-mutexprofile path] [-pprof addr]
 //
@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"asap/internal/experiments"
@@ -31,11 +32,12 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "scale preset: full, small or tiny")
+		scaleName = flag.String("scale", "small", "scale preset: "+strings.Join(experiments.Names(), ", "))
 		scheme    = flag.String("scheme", "asap-rw", "search scheme (flooding, random-walk, gsa, asap-fld, asap-rw, asap-gsa)")
 		topo      = flag.String("topo", "crawled", "overlay topology (random, powerlaw, crawled)")
 		traceFile = flag.String("trace", "", "replay a trace file from tracegen instead of regenerating")
-		workers   = flag.Int("workers", 0, "query replay workers (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "query replay workers (0 = GOMAXPROCS); sharded replay ignores this")
+		shards    = flag.Int("shards", 0, "replay shards: 0 = unsharded, <0 = auto (GOMAXPROCS); outputs are byte-identical at every count (unset: the preset's own default)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		series    = flag.Bool("series", false, "also print the per-second load series")
 		seriesDir = flag.String("seriesdir", "", "write the run's per-second observability series (CSV+JSON) into this directory")
@@ -45,12 +47,20 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	// -shards unset keeps the preset's own default (mega shards by
+	// default); set, it overrides the preset either way.
+	shardsOverride := noShardOverride
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsOverride = *shards
+		}
+	})
 	stopProf, err := obs.StartProfiles(*cpuProf, *memProf, *mutexProf, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asapsim:", err)
 		os.Exit(1)
 	}
-	err = run(*scaleName, *scheme, *topo, *traceFile, *workers, *seed, *series, *seriesDir)
+	err = run(*scaleName, *scheme, *topo, *traceFile, *workers, shardsOverride, *seed, *series, *seriesDir)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -60,12 +70,18 @@ func main() {
 	}
 }
 
-func run(scaleName, scheme, topoName, traceFile string, workers int, seed uint64, series bool, seriesDir string) error {
+// noShardOverride marks "-shards not given: keep the preset's default".
+const noShardOverride = int(^uint(0)>>1) - 1
+
+func run(scaleName, scheme, topoName, traceFile string, workers, shardsOverride int, seed uint64, series bool, seriesDir string) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
 	}
 	sc.Workers = workers
+	if shardsOverride != noShardOverride {
+		sc.ShardCount = shardsOverride
+	}
 	sc.Seed = seed
 	kind := overlay.Kind(255)
 	for _, k := range overlay.Kinds {
@@ -106,7 +122,7 @@ func run(scaleName, scheme, topoName, traceFile string, workers int, seed uint64
 		rec = obs.NewRecorder(int(lab.Tr.Span()/1000) + 2)
 		sys.SetObs(rec)
 	}
-	sum := sim.Run(sys, sch, sim.RunOptions{Workers: sc.Workers})
+	sum := sim.Run(sys, sch, sim.RunOptions{Workers: sc.Workers, Shards: sc.ShardCount})
 	if rec != nil {
 		key := fmt.Sprintf("%s/%s", sum.Scheme, sum.Topology)
 		files, err := obs.WriteDir(seriesDir, []obs.RunSeries{rec.Series(key, sys.Load)})

@@ -20,6 +20,20 @@ type benchSide struct {
 	RunsPerSec   float64 `json:"runs_per_sec"`
 	AllocMB      float64 `json:"alloc_mb"`
 	AllocsPerRun float64 `json:"allocs_per_run"`
+	// PeakHeapMB is the live-heap high-water mark observed across the
+	// side's runs (sampled once per simulated second; 0 when not sampled).
+	PeakHeapMB float64 `json:"peak_heap_mb,omitempty"`
+}
+
+// shardPoint is one row of the shard-scaling block: the whole matrix
+// replayed with every run split into Shards shards (matrix fan-out pinned
+// to one worker so the wall time isolates intra-run shard parallelism),
+// checked byte-identical against the sequential baseline matrix.
+type shardPoint struct {
+	Shards       int     `json:"shards"`
+	WallMS       float64 `json:"wall_ms"`
+	PeakHeapMB   float64 `json:"peak_heap_mb"`
+	OutputsEqual bool    `json:"outputs_equal"`
 }
 
 // benchRecord is the machine-readable perf record -benchjson emits: the
@@ -55,11 +69,21 @@ type benchRecord struct {
 	// the previous record, alongside the per-run allocation counters and
 	// whether the new matrix still matched its own sequential baseline.
 	// Nil when no previous record existed at the output path.
-	ReplayDelta  *replayDelta `json:"replay_phase_delta,omitempty"`
+	ReplayDelta *replayDelta `json:"replay_phase_delta,omitempty"`
+	// ShardScaling times the sharded replay engine at several shard counts
+	// over the same matrix, each point gated on byte-equality with the
+	// sequential baseline. Wall-clock scaling is only visible on a
+	// multi-core host; on one CPU the points document equality and the
+	// (bounded) memory cost of sharding instead.
+	ShardScaling []shardPoint `json:"shard_scaling,omitempty"`
 	SpeedupX     *float64     `json:"speedup_x"`
 	SpeedupNote  string       `json:"speedup_note,omitempty"`
 	OutputsEqual bool         `json:"outputs_equal"`
-	When         string       `json:"when"`
+	// ScaleRuns carries the -scalerun records (full/mega wall time and peak
+	// heap) forward across -benchjson regenerations, which otherwise
+	// rewrite the whole file.
+	ScaleRuns json.RawMessage `json:"scale_runs,omitempty"`
+	When      string          `json:"when"`
 }
 
 // phaseDelta is one phase's before/after wall-clock comparison.
@@ -180,14 +204,34 @@ func timedMatrix(lab *experiments.Lab, opt experiments.MatrixOptions) (experimen
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return m, benchSide{
+	side := benchSide{
 		Workers:      workers,
 		FreshGraphs:  opt.FreshGraphs,
 		WallMS:       float64(wall.Milliseconds()),
 		RunsPerSec:   float64(runs) / wall.Seconds(),
 		AllocMB:      float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
 		AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(runs),
-	}, nil
+	}
+	if opt.Heap != nil {
+		side.PeakHeapMB = opt.Heap.PeakMB()
+	}
+	return m, side, nil
+}
+
+// prevScaleRuns lifts the scale_runs block out of the previous record at
+// path so a -benchjson regeneration does not erase -scalerun history.
+func prevScaleRuns(path string) json.RawMessage {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev struct {
+		ScaleRuns json.RawMessage `json:"scale_runs"`
+	}
+	if json.Unmarshal(buf, &prev) != nil {
+		return nil
+	}
+	return prev.ScaleRuns
 }
 
 // runBenchJSON builds the lab once, replays the matrix under the baseline
@@ -225,10 +269,33 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 	}
 	progress("benchjson: parallel optimized (cloned graphs, %d workers)…", matrixWorkers)
 	timing := &obs.Timing{}
-	optMat, opt, err := timedMatrix(lab, experiments.MatrixOptions{Workers: matrixWorkers, Timing: timing})
+	optHeap := obs.NewHeapGauge()
+	optMat, opt, err := timedMatrix(lab, experiments.MatrixOptions{Workers: matrixWorkers, Timing: timing, Heap: optHeap})
 	if err != nil {
 		return err
 	}
+
+	// Shard-scaling block: the same matrix with every run sharded, matrix
+	// fan-out pinned to one worker so wall time isolates the intra-run
+	// shard parallelism. Each point is gated on byte-equality with the
+	// sequential baseline — the property the engine promises at any count.
+	var shardScaling []shardPoint
+	for _, s := range []int{1, 2, 4} {
+		progress("benchjson: sharded replay (%d shards)…", s)
+		lab.Scale.ShardCount = s // run() reads the lab's scale; no rebuild needed
+		gauge := obs.NewHeapGauge()
+		shMat, sh, err := timedMatrix(lab, experiments.MatrixOptions{Workers: 1, Heap: gauge})
+		if err != nil {
+			return err
+		}
+		shardScaling = append(shardScaling, shardPoint{
+			Shards:       s,
+			WallMS:       sh.WallMS,
+			PeakHeapMB:   gauge.PeakMB(),
+			OutputsEqual: reflect.DeepEqual(baseMat, shMat),
+		})
+	}
+	lab.Scale.ShardCount = 0
 
 	runs := 0
 	for _, per := range optMat {
@@ -248,7 +315,9 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 		Phases:        phases,
 		DeliveryDelta: deliveryPhaseDelta(path, phases),
 		ReplayDelta:   replayPhaseDelta(path, phases, opt.AllocsPerRun, outputsEqual),
+		ShardScaling:  shardScaling,
 		OutputsEqual:  outputsEqual,
+		ScaleRuns:     prevScaleRuns(path),
 		When:          time.Now().UTC().Format(time.RFC3339),
 	}
 	// A speedup ratio only measures the parallel path when the process can
@@ -262,6 +331,11 @@ func runBenchJSON(scaleName string, seed uint64, matrixWorkers int, path string,
 	}
 	if !rec.OutputsEqual {
 		return fmt.Errorf("benchjson: parallel matrix differs from sequential baseline")
+	}
+	for _, p := range rec.ShardScaling {
+		if !p.OutputsEqual {
+			return fmt.Errorf("benchjson: %d-shard matrix differs from sequential baseline", p.Shards)
+		}
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-scale full|small|tiny] [-figure all|2|3|...|10|claims]
+//	experiments [-scale full|small|tiny|mega] [-figure all|2|3|...|10|claims]
 //	            [-schemes csv] [-topos csv] [-workers n] [-matrixworkers n]
-//	            [-seed n] [-loss rate] [-quiet] [-benchjson path]
-//	            [-series dir] [-cpuprofile path] [-memprofile path]
-//	            [-mutexprofile path] [-pprof addr]
+//	            [-shards n] [-seed n] [-loss rate] [-quiet] [-benchjson path]
+//	            [-scalerun preset] [-series dir] [-cpuprofile path]
+//	            [-memprofile path] [-mutexprofile path] [-pprof addr]
 //
 // Examples:
 //
@@ -16,7 +16,10 @@
 //	experiments -scale small -figure claims  # headline-claim checks
 //	experiments -scale small -loss 0.02      # the matrix on a 2%-lossy network
 //	experiments -scale tiny -figure loss     # loss sweep: 0/1/2/5% message loss
-//	experiments -benchjson BENCH_matrix.json # perf record: baseline vs parallel
+//	experiments -shards 4 -scale small       # sharded replay (same outputs, any count)
+//	experiments -benchjson BENCH_matrix.json # perf record: baseline vs parallel vs sharded
+//	experiments -scalerun full               # record the paper-scale matrix wall+heap
+//	experiments -scalerun mega               # 500k-peer run, shard-scaling record
 //	experiments -series out/                 # + per-second series per run (CSV+JSON)
 //	experiments -cpuprofile cpu.out          # profile the run (go tool pprof cpu.out)
 package main
@@ -35,17 +38,19 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "experiment scale: full, small or tiny")
+		scaleName = flag.String("scale", "small", "experiment scale: "+strings.Join(experiments.Names(), ", "))
 		figure    = flag.String("figure", "all", "figure to regenerate: all, 2-10, or claims")
 		schemes   = flag.String("schemes", "", "comma-separated scheme subset (default: all six)")
 		topos     = flag.String("topos", "", "comma-separated topology subset (default: all three)")
 		workers   = flag.Int("workers", 0, "query replay workers for single-run sweeps (0 = GOMAXPROCS); matrix cells replay single-threaded")
 		matrixW   = flag.Int("matrixworkers", 0, "scheme×topology matrix workers (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "replay shards per run: 0 = unsharded, <0 = auto (GOMAXPROCS); outputs are byte-identical at every count (unset: the preset's own default)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		seedCount = flag.Int("seeds", 3, "seeds for -figure seeds (robustness sweep)")
 		loss      = flag.Float64("loss", 0, "message loss rate in [0,1); 0 is the paper's reliable network")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
-		benchJSON = flag.String("benchjson", "", "write a matrix perf record (baseline vs parallel) to this path and exit")
+		benchJSON = flag.String("benchjson", "", "write a matrix perf record (baseline vs parallel vs sharded) to this path and exit")
+		scaleRun  = flag.String("scalerun", "", "replay this preset end to end and merge its wall-time/peak-heap record into the scale_runs block of -benchjson's path (default BENCH_matrix.json); mega also records shard scaling")
 		seriesDir = flag.String("series", "", "write each run's per-second observability series (CSV+JSON) into this directory")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
@@ -57,20 +62,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -loss %v out of [0,1)\n", *loss)
 		os.Exit(1)
 	}
+	// -shards unset keeps each preset's own default (mega shards by
+	// default); set, it overrides the preset either way.
+	shardsOverride := noShardOverride
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsOverride = *shards
+		}
+	})
 	stopProf, err := obs.StartProfiles(*cpuProf, *memProf, *mutexProf, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 	switch {
+	case *scaleRun != "":
+		path := *benchJSON
+		if path == "" {
+			path = "BENCH_matrix.json"
+		}
+		err = runScaleRun(*scaleRun, *seed, *matrixW, shardsOverride, path, *quiet)
 	case *benchJSON != "":
 		err = runBenchJSON(*scaleName, *seed, *matrixW, *benchJSON, *quiet)
 	case *figure == "seeds":
-		err = runSeeds(*scaleName, *schemes, *topos, *workers, *seedCount, *quiet)
+		err = runSeeds(*scaleName, *schemes, *topos, *workers, *seedCount, shardsOverride, *quiet)
 	case *figure == "loss":
-		err = runLossSweep(*scaleName, *schemes, *topos, *seed, *seriesDir, *quiet)
+		err = runLossSweep(*scaleName, *schemes, *topos, *seed, *seriesDir, shardsOverride, *quiet)
 	default:
-		err = run(*scaleName, *figure, *schemes, *topos, *workers, *matrixW, *seed, *loss, *seriesDir, *quiet)
+		err = run(*scaleName, *figure, *schemes, *topos, *workers, *matrixW, *seed, *loss, *seriesDir, shardsOverride, *quiet)
 	}
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -81,7 +100,17 @@ func main() {
 	}
 }
 
-func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, loss float64, seriesDir string, quiet bool) error {
+// noShardOverride marks "-shards not given: keep the preset's default".
+const noShardOverride = int(^uint(0)>>1) - 1
+
+// applyShards folds the -shards flag into the preset.
+func applyShards(sc *experiments.Scale, override int) {
+	if override != noShardOverride {
+		sc.ShardCount = override
+	}
+}
+
+func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, loss float64, seriesDir string, shardsOverride int, quiet bool) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
@@ -90,6 +119,7 @@ func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers in
 	sc.MatrixWorkers = matrixWorkers
 	sc.Seed = seed
 	sc.LossRate = loss
+	applyShards(&sc, shardsOverride)
 
 	progress := func(format string, args ...any) {
 		if !quiet {
@@ -198,12 +228,13 @@ func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers in
 // runSeeds performs the robustness sweep: every selected scheme ×
 // topology is replayed under several seeds (fresh universe, trace,
 // placement and topology each time) and the metric spreads are printed.
-func runSeeds(scaleName, schemeCSV, topoCSV string, workers, nSeeds int, quiet bool) error {
+func runSeeds(scaleName, schemeCSV, topoCSV string, workers, nSeeds, shardsOverride int, quiet bool) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
 	}
 	sc.Workers = workers
+	applyShards(&sc, shardsOverride)
 	if nSeeds < 1 {
 		return fmt.Errorf("need ≥1 seeds")
 	}
@@ -246,12 +277,13 @@ func runSeeds(scaleName, schemeCSV, topoCSV string, workers, nSeeds int, quiet b
 // runLossSweep replays the selected schemes on one topology under a
 // ladder of message-loss rates, showing how each degrades off the paper's
 // reliable-network assumption.
-func runLossSweep(scaleName, schemeCSV, topoCSV string, seed uint64, seriesDir string, quiet bool) error {
+func runLossSweep(scaleName, schemeCSV, topoCSV string, seed uint64, seriesDir string, shardsOverride int, quiet bool) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
 	}
 	sc.Seed = seed
+	applyShards(&sc, shardsOverride)
 	var schemeList []string
 	if schemeCSV != "" {
 		for _, s := range strings.Split(schemeCSV, ",") {

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"asap/internal/experiments"
+	"asap/internal/obs"
+	"asap/internal/overlay"
+)
+
+// scaleRunRecord is one -scalerun entry in the scale_runs block of the
+// bench JSON: the first-ever wall time and peak live heap of replaying a
+// preset end to end on this host. Wall-clock figures: comparable within
+// one host, not across machines.
+type scaleRunRecord struct {
+	Scale      string `json:"scale"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Scheme/Topology are set when the preset replays a single cell (mega)
+	// rather than the whole scheme×topology matrix (full).
+	Scheme     string  `json:"scheme,omitempty"`
+	Topology   string  `json:"topology,omitempty"`
+	Runs       int     `json:"runs"`
+	Peers      int     `json:"peers"`
+	Queries    int     `json:"queries"`
+	LabBuildMS float64 `json:"lab_build_ms"`
+	// WallMS/PeakHeapMB time the headline replay: the whole matrix for
+	// full, the highest shard count for mega (per-count figures live in
+	// ShardScaling).
+	WallMS     float64 `json:"wall_ms"`
+	PeakHeapMB float64 `json:"peak_heap_mb"`
+	// ShardScaling, for mega, replays the same cell at several shard
+	// counts; OutputsEqual then asserts every count produced the same
+	// Summary as the first.
+	ShardScaling []shardPoint `json:"shard_scaling,omitempty"`
+	OutputsEqual *bool        `json:"outputs_equal,omitempty"`
+	Note         string       `json:"note,omitempty"`
+	When         string       `json:"when"`
+}
+
+// runScaleRun replays the preset end to end and merges its record into the
+// scale_runs block at path, preserving every other key of the file.
+func runScaleRun(preset string, seed uint64, matrixWorkers, shardsOverride int, path string, quiet bool) error {
+	sc, err := experiments.ByName(preset)
+	if err != nil {
+		return err
+	}
+	sc.Seed = seed
+	sc.MatrixWorkers = matrixWorkers
+	applyShards(&sc, shardsOverride)
+	progress := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	labStart := time.Now()
+	progress("scalerun: building %s-scale lab (network, universe, trace)…", sc.Name)
+	lab, err := experiments.NewLab(sc)
+	if err != nil {
+		return err
+	}
+	st := lab.Tr.Stats()
+	rec := scaleRunRecord{
+		Scale:      sc.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Peers:      len(lab.Tr.Peers),
+		Queries:    st.Queries,
+		LabBuildMS: float64(time.Since(labStart).Milliseconds()),
+		When:       time.Now().UTC().Format(time.RFC3339),
+	}
+	progress("scalerun: lab ready in %.0f ms: %s", rec.LabBuildMS, st)
+
+	if sc.Name == "mega" {
+		err = scaleRunCell(lab, &rec, progress)
+	} else {
+		err = scaleRunMatrix(lab, &rec, progress)
+	}
+	if err != nil {
+		return err
+	}
+	if err := mergeScaleRun(path, preset, rec); err != nil {
+		return err
+	}
+	progress("scalerun: %s recorded (%.0f ms wall, %.0f MB peak heap) → %s",
+		preset, rec.WallMS, rec.PeakHeapMB, path)
+	return nil
+}
+
+// scaleRunMatrix times the preset's whole scheme×topology matrix (the
+// full-preset path: every cell of the paper's evaluation at that scale).
+func scaleRunMatrix(lab *experiments.Lab, rec *scaleRunRecord, progress func(string, ...any)) error {
+	start := time.Now()
+	gauge := obs.NewHeapGauge()
+	m, err := lab.RunMatrixOpt(nil, nil, func(s string, k overlay.Kind) {
+		progress("scalerun: running %-12s on %-8s (%v elapsed)", s, k, time.Since(start).Round(time.Second))
+	}, experiments.MatrixOptions{Workers: lab.Scale.MatrixWorkers, Heap: gauge})
+	if err != nil {
+		return err
+	}
+	for _, per := range m {
+		rec.Runs += len(per)
+	}
+	rec.WallMS = float64(time.Since(start).Milliseconds())
+	rec.PeakHeapMB = gauge.PeakMB()
+	return nil
+}
+
+// scaleRunCell times one asap-rw/random cell at several shard counts (the
+// mega-preset path: the whole matrix is out of reach at half a million
+// peers, flooding above all, so mega exercises the sharded engine on the
+// one cell the scale ceiling was raised for, and proves the counts agree).
+func scaleRunCell(lab *experiments.Lab, rec *scaleRunRecord, progress func(string, ...any)) error {
+	const scheme = "asap-rw"
+	const topo = overlay.Random
+	rec.Scheme, rec.Topology = scheme, topo.String()
+	rec.Note = "single cell: the full matrix (flooding above all) is infeasible at this scale"
+
+	var first any
+	equal := true
+	for _, s := range []int{1, 4} {
+		progress("scalerun: %s on %s with %d shard(s)…", scheme, topo, s)
+		lab.Scale.ShardCount = s
+		gauge := obs.NewHeapGauge()
+		start := time.Now()
+		m, err := lab.RunMatrixOpt([]string{scheme}, []overlay.Kind{topo}, nil,
+			experiments.MatrixOptions{Workers: 1, Heap: gauge})
+		if err != nil {
+			return err
+		}
+		wall := float64(time.Since(start).Milliseconds())
+		sum := m[scheme][topo]
+		if first == nil {
+			first = sum
+		} else if !reflect.DeepEqual(first, sum) {
+			equal = false
+		}
+		rec.ShardScaling = append(rec.ShardScaling, shardPoint{
+			Shards:       s,
+			WallMS:       wall,
+			PeakHeapMB:   gauge.PeakMB(),
+			OutputsEqual: reflect.DeepEqual(first, sum),
+		})
+		rec.Runs++
+		rec.WallMS = wall
+		rec.PeakHeapMB = gauge.PeakMB()
+	}
+	rec.OutputsEqual = &equal
+	if !equal {
+		return fmt.Errorf("scalerun: shard counts disagree on %s/%s", scheme, topo)
+	}
+	return nil
+}
+
+// mergeScaleRun read-modify-writes the bench JSON at path: only the
+// scale_runs[preset] entry changes; every other key — the benchjson
+// record, other presets' runs — survives verbatim.
+func mergeScaleRun(path, preset string, rec scaleRunRecord) error {
+	doc := map[string]json.RawMessage{}
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("scalerun: %s is not a JSON object: %w", path, err)
+		}
+	}
+	runs := map[string]json.RawMessage{}
+	if raw, ok := doc["scale_runs"]; ok {
+		if err := json.Unmarshal(raw, &runs); err != nil {
+			return fmt.Errorf("scalerun: scale_runs block in %s: %w", path, err)
+		}
+	}
+	entry, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	runs[preset] = entry
+	block, err := json.Marshal(runs)
+	if err != nil {
+		return err
+	}
+	doc["scale_runs"] = block
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

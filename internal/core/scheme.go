@@ -60,6 +60,15 @@ type Scheme struct {
 	// cost off the delivery hot loop entirely.
 	applyVer atomic.Uint32
 
+	// queryPhase extends the seqlock contract to sharded replay (shard.go):
+	// true while the runner has a parallel intra-shard query phase open, in
+	// which the only legal writers are search threads mutating their own
+	// owners' states. beginApply panics while it is set.
+	queryPhase atomic.Bool
+
+	// plan is AppendSearchReads' BFS scratch (runner thread only).
+	plan planScratch
+
 	// scratch pools per-query working sets; see searchScratch.
 	scratch sync.Pool
 }
@@ -154,7 +163,13 @@ func (s *Scheme) Attach(sys *sim.System) {
 // the version goes odd. The single-writer guarantee (the runner drains
 // query batches before any state event) makes a plain load-then-store
 // sufficient — there is no competing writer to lose an increment to.
+// Opening a section inside a sharded query phase would race every lane,
+// so it panics — the per-shard single-writer contract's other half (the
+// search side asserts via checkStable).
 func (s *Scheme) beginApply() {
+	if s.queryPhase.Load() {
+		panic("core: delivery write opened inside a sharded query phase (runner barrier breached)")
+	}
 	s.applyVer.Store(s.applyVer.Load() + 1)
 }
 

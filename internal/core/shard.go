@@ -1,0 +1,101 @@
+package core
+
+import (
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// ASAP's search data flow has exactly the shape the sharded replay engine
+// consumes (sim.SearchSharder): one query mutates scheme state on a single
+// node — the requester's representative, whose ads cache absorbs drops,
+// staleness sweeps and phase-2 merges — and reads scheme state only from
+// that node plus its AdsRequestHops-hop eligible neighbourhood (the peers
+// a phase-2 ads request can serve from). Everything else a search touches
+// (the overlay, document sets, the signature index, latencies) is frozen
+// for the whole query batch by the runner's barrier, so it partitions as
+// "no scheme state" here.
+//
+// The read set is computed without the fault plane: message loss can only
+// shrink the set of peers actually served from, so the lossless
+// neighbourhood is the required conservative superset.
+
+var (
+	_ sim.SearchSharder = (*Scheme)(nil)
+	_ sim.QueryPhaser   = (*Scheme)(nil)
+)
+
+// planScratch is the runner-thread-only working set of AppendSearchReads'
+// multi-hop BFS (epoch-stamped visit marks, reusable frontiers). It is
+// separate from the delivery buffers on Scheme so a conflict plan can
+// never perturb a cascade replay, whatever order the runner interleaves
+// them in.
+type planScratch struct {
+	stamp    []uint32
+	epoch    uint32
+	frontier []overlay.NodeID
+	next     []overlay.NodeID
+}
+
+// SearchOwner implements sim.SearchSharder: the only node Search(ev) may
+// mutate is ev.Node's representative — itself in flat mode, its super peer
+// for an attached leaf, none (negative) for a detached leaf, whose search
+// fails before touching any state.
+func (s *Scheme) SearchOwner(n overlay.NodeID) overlay.NodeID {
+	return s.repr(n)
+}
+
+// AppendSearchReads implements sim.SearchSharder: the owner plus its
+// h-hop eligible neighbourhood, h = AdsRequestHops. Runner thread only.
+func (s *Scheme) AppendSearchReads(owner overlay.NodeID, buf []overlay.NodeID) []overlay.NodeID {
+	buf = append(buf, owner)
+	h := s.cfg.AdsRequestHops
+	if h <= 0 {
+		return buf
+	}
+	if h == 1 {
+		// The common case: phase 2 serves from direct neighbours only.
+		return append(buf, s.eligibleView(owner)...)
+	}
+	ps := &s.plan
+	if len(ps.stamp) < s.sys.NumNodes() {
+		ps.stamp = make([]uint32, s.sys.NumNodes())
+	}
+	ps.epoch++
+	if ps.epoch == 0 {
+		clear(ps.stamp)
+		ps.epoch = 1
+	}
+	ps.stamp[owner] = ps.epoch
+	frontier := append(ps.frontier[:0], owner)
+	next := ps.next[:0]
+	for hop := 1; hop <= h && len(frontier) > 0; hop++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, nb := range s.eligibleView(u) {
+				if ps.stamp[nb] == ps.epoch {
+					continue
+				}
+				ps.stamp[nb] = ps.epoch
+				buf = append(buf, nb)
+				next = append(next, nb)
+			}
+		}
+		frontier, next = next, frontier
+	}
+	ps.frontier, ps.next = frontier, next
+	return buf
+}
+
+// BeginQueryPhase implements sim.QueryPhaser: while a sharded query phase
+// is live, the per-shard single-writer contract holds — search threads may
+// write their own owners' states (under each node's mu), and no delivery
+// write may open at all. beginApply enforces the latter half.
+func (s *Scheme) BeginQueryPhase() {
+	s.queryPhase.Store(true)
+}
+
+// EndQueryPhase implements sim.QueryPhaser, closing the phase opened by
+// BeginQueryPhase.
+func (s *Scheme) EndQueryPhase() {
+	s.queryPhase.Store(false)
+}

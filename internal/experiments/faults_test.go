@@ -93,7 +93,7 @@ func TestLossZeroMatchesNoPlane(t *testing.T) {
 		t.Fatalf("lab: %v", err)
 	}
 	for _, scheme := range lossySchemes {
-		bare, err := lab.run(scheme, overlay.Crawled, false, 1, nil, nil)
+		bare, err := lab.run(scheme, overlay.Crawled, false, 1, nil, nil, nil)
 		if err != nil {
 			t.Fatalf("%s bare: %v", scheme, err)
 		}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"asap/internal/obs"
+	"asap/internal/overlay"
+)
+
+// smallPeakHeapBudgetMB bounds the live-heap high-water mark of one
+// small-scale asap-rw replay. The observed peak on the reference host is
+// ~30 MB (lab inputs included); the budget leaves ~4× headroom for GC
+// timing and allocator noise while still catching a structural regression
+// — per-node state creeping from O(shard) back to O(universe) blows
+// through 3× immediately at any scale.
+const smallPeakHeapBudgetMB = 128
+
+// TestSmallReplayPeakHeapBound is the mem-gate (make mem-gate): replay
+// asap-rw on the crawled overlay at small scale, sharded, with the heap
+// gauge attached, and require the peak stays inside the budget — and that
+// the gauge actually sampled something, so the gate can never pass vacuously.
+func TestSmallReplayPeakHeapBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scale replay in -short mode")
+	}
+	sc := ScaleSmall()
+	sc.ShardCount = 4
+	lab, err := NewLab(sc)
+	if err != nil {
+		t.Fatalf("lab: %v", err)
+	}
+	gauge := obs.NewHeapGauge()
+	if _, err := lab.RunMatrixOpt([]string{"asap-rw"}, []overlay.Kind{overlay.Crawled}, nil,
+		MatrixOptions{Workers: 1, Heap: gauge}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	peak := gauge.PeakMB()
+	if peak <= 0 {
+		t.Fatal("heap gauge recorded no samples")
+	}
+	if peak > smallPeakHeapBudgetMB {
+		t.Fatalf("peak live heap %.1f MB exceeds the %d MB budget", peak, smallPeakHeapBudgetMB)
+	}
+	t.Logf("peak live heap: %.1f MB (budget %d MB)", peak, smallPeakHeapBudgetMB)
+}

@@ -97,21 +97,21 @@ func (l *Lab) topoProto(kind overlay.Kind) *sim.TopoProto {
 // point; multi-worker replay trades bit-for-bit reproducibility for
 // speed, see sim.RunOptions).
 func (l *Lab) Run(schemeName string, topo overlay.Kind) (metrics.Summary, error) {
-	return l.run(schemeName, topo, false, l.Scale.Workers, nil, nil)
+	return l.run(schemeName, topo, false, l.Scale.Workers, nil, nil, nil)
 }
 
 // RunObs is Run with observability attached: the run's per-second series
 // lands in series (keyed "scheme/topology") and its wall-clock phase
 // timing is merged into timing. Either may be nil to skip that layer.
 func (l *Lab) RunObs(schemeName string, topo overlay.Kind, series *obs.Collector, timing *obs.Timing) (metrics.Summary, error) {
-	return l.run(schemeName, topo, false, l.Scale.Workers, series, timing)
+	return l.run(schemeName, topo, false, l.Scale.Workers, series, timing, nil)
 }
 
 // run builds the system — from the cached prototype, or from scratch when
 // fresh is set — and replays the trace under the scheme. The two system
 // paths are bit-for-bit equivalent (see TestMatrixClonedMatchesFresh);
 // fresh exists as the pre-clone baseline for benchmarking.
-func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers int, series *obs.Collector, timing *obs.Timing) (metrics.Summary, error) {
+func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers int, series *obs.Collector, timing *obs.Timing, heap *obs.HeapGauge) (metrics.Summary, error) {
 	sch, err := l.NewScheme(schemeName)
 	if err != nil {
 		return metrics.Summary{}, err
@@ -119,8 +119,9 @@ func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers
 	// The recorder's horizon mirrors the LoadAccount's (see sim.NewSystem)
 	// so the two per-second series line up row for row.
 	var rec *obs.Recorder
-	if series != nil || timing != nil {
+	if series != nil || timing != nil || heap != nil {
 		rec = obs.NewRecorder(int(l.Tr.Span()/1000) + 2)
+		rec.SetHeapGauge(heap)
 	}
 	var sys *sim.System
 	if fresh {
@@ -137,7 +138,7 @@ func (l *Lab) run(schemeName string, topo overlay.Kind, fresh bool, queryWorkers
 	if l.Scale.LossRate > 0 {
 		sys.SetFaults(faults.New(faults.Config{Seed: l.Scale.Seed, LossRate: l.Scale.LossRate}))
 	}
-	sum := sim.Run(sys, sch, sim.RunOptions{Workers: queryWorkers})
+	sum := sim.Run(sys, sch, sim.RunOptions{Workers: queryWorkers, Shards: l.Scale.ShardCount})
 	if timing != nil {
 		timing.Merge(rec.Timing())
 	}
@@ -165,6 +166,10 @@ type MatrixOptions struct {
 	// Timing, when non-nil, accumulates wall-clock phase timing across all
 	// cells (nondeterministic by nature; reporting only).
 	Timing *obs.Timing
+	// Heap, when non-nil, tracks the peak live-heap high-water mark across
+	// all cells (sampled once per simulated second; reporting only, never
+	// part of the deterministic Matrix).
+	Heap *obs.HeapGauge
 }
 
 // RunMatrix runs every given scheme on every given topology across a
@@ -172,12 +177,14 @@ type MatrixOptions struct {
 // the full paper matrix. Progress, if non-nil, is invoked before each run
 // and is never called concurrently.
 //
-// Parallelism lives at the cell level only: each cell replays its queries
-// single-threaded, which keeps every run deterministic in the lab seed
-// alone (multi-worker query replay is scheduling-sensitive for schemes
-// with shared caches — see sim.RunOptions). The returned Matrix is
-// therefore identical for every worker count
-// (TestRunMatrixParallelDeterminism).
+// Parallelism lives at the cell level (and, when Scale.ShardCount is set,
+// inside each cell via the sharded replay engine, which is byte-identical
+// to single-threaded replay at every shard count): each cell replays its
+// queries single-threaded otherwise, which keeps every run deterministic
+// in the lab seed alone (multi-worker query replay is
+// scheduling-sensitive for schemes with shared caches — see
+// sim.RunOptions). The returned Matrix is therefore identical for every
+// worker count (TestRunMatrixParallelDeterminism).
 func (l *Lab) RunMatrix(schemes []string, topos []overlay.Kind, progress func(scheme string, topo overlay.Kind)) (Matrix, error) {
 	return l.RunMatrixOpt(schemes, topos, progress, MatrixOptions{Workers: l.Scale.MatrixWorkers})
 }
@@ -217,7 +224,7 @@ func (l *Lab) RunMatrixOpt(schemes []string, topos []overlay.Kind, progress func
 	sums := make([]metrics.Summary, len(jobs))
 	errs := make([]error, len(jobs))
 	runJob := func(i int) {
-		sums[i], errs[i] = l.run(jobs[i].scheme, jobs[i].topo, opt.FreshGraphs, 1, opt.Series, opt.Timing)
+		sums[i], errs[i] = l.run(jobs[i].scheme, jobs[i].topo, opt.FreshGraphs, 1, opt.Series, opt.Timing, opt.Heap)
 	}
 	if workers <= 1 {
 		for i := range jobs {

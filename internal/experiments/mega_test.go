@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"asap/internal/content"
+	"asap/internal/core"
+	"asap/internal/trace"
+)
+
+// TestMegaPresetInvariants checks the arithmetic the mega preset must obey
+// before anything is generated: the physical universe holds every peer the
+// trace can ever attach (netmodel.RandomNodes panics past TotalNodes), the
+// content snapshot covers the full churn population (trace.Build rejects
+// otherwise), and the two size-coupled ASAP knobs are pinned down far below
+// their full-scale defaults so per-node slabs stay bounded at half a
+// million nodes.
+func TestMegaPresetInvariants(t *testing.T) {
+	sc := ScaleMega()
+	population := sc.Trace.NumNodes + sc.Trace.NumJoins
+	if sc.Net.TotalNodes() < population {
+		t.Fatalf("physical universe %d nodes < overlay population %d", sc.Net.TotalNodes(), population)
+	}
+	if sc.Content.NumPeers < population {
+		t.Fatalf("content snapshot %d peers < overlay population %d", sc.Content.NumPeers, population)
+	}
+	if sc.Trace.NumNodes < 500_000 {
+		t.Fatalf("mega is the ≥500k preset, got %d nodes", sc.Trace.NumNodes)
+	}
+	if sc.ShardCount == 0 {
+		t.Fatal("mega must shard by default")
+	}
+	cfg := sc.ASAPConfig(core.RW)
+	full := core.DefaultConfig(core.RW)
+	if cfg.CacheCapacity <= 0 || cfg.CacheCapacity >= full.CacheCapacity {
+		t.Fatalf("mega cache capacity %d not pinned below the full-scale %d", cfg.CacheCapacity, full.CacheCapacity)
+	}
+	if cfg.BudgetUnit <= 0 || cfg.BudgetUnit >= full.BudgetUnit {
+		t.Fatalf("mega budget unit %d not pinned below the full-scale %d", cfg.BudgetUnit, full.BudgetUnit)
+	}
+	if cfg.RefreshPeriodSec != sc.RefreshPeriodSec {
+		t.Fatalf("mega refresh period %d, want %d", cfg.RefreshPeriodSec, sc.RefreshPeriodSec)
+	}
+}
+
+// TestMegaTraceGeneration builds (but does not replay) the mega preset's
+// content universe and trace — the expensive halves of lab construction
+// that must hold up at 520k peers — and asserts the event-stream
+// invariants the replay engine depends on: exact churn and query counts,
+// nondecreasing timestamps, and node IDs inside the overlay population.
+// trace.Build itself enforces the ≥90% satisfiability floor.
+func TestMegaTraceGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mega generation in -short mode")
+	}
+	sc := ScaleMega()
+	sc.Content.Seed = sc.Seed
+	sc.Trace.Seed = sc.Seed
+	u := content.Generate(sc.Content)
+	tr, err := trace.Build(u, sc.Trace)
+	if err != nil {
+		t.Fatalf("mega trace: %v", err)
+	}
+	if len(tr.Peers) != sc.Trace.NumNodes+sc.Trace.NumJoins {
+		t.Fatalf("trace population %d, want %d", len(tr.Peers), sc.Trace.NumNodes+sc.Trace.NumJoins)
+	}
+	st := tr.Stats()
+	if st.Queries != sc.Trace.NumQueries || st.Joins != sc.Trace.NumJoins || st.Leaves != sc.Trace.NumLeaves {
+		t.Fatalf("event counts %+v, want q=%d join=%d leave=%d",
+			st, sc.Trace.NumQueries, sc.Trace.NumJoins, sc.Trace.NumLeaves)
+	}
+	last := int64(-1 << 62)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Time < last {
+			t.Fatalf("event %d goes back in time (%d after %d)", i, ev.Time, last)
+		}
+		last = ev.Time
+		if ev.Kind == trace.Query || ev.Kind == trace.Join || ev.Kind == trace.Leave {
+			if int(ev.Node) < 0 || int(ev.Node) >= len(tr.Peers) {
+				t.Fatalf("event %d targets node %d outside [0,%d)", i, ev.Node, len(tr.Peers))
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"asap/internal/obs"
+	"asap/internal/overlay"
+)
+
+// TestShardedReplayEquivalence is the engine's acceptance property: the
+// full scheme matrix — stateful ASAP variants and pure baselines — replayed
+// under churn and 2% message loss must be byte-identical to the unsharded
+// Workers=1 replay at every shard count, including S=1 and an S=7 that
+// divides nothing evenly. Both the Matrix (summaries, load series) and the
+// serialized per-second observability series are compared. Run under -race
+// (make shard-smoke) this doubles as a soundness check of the conflict
+// plan: an undeclared read/write overlap between lanes is a data race.
+func TestShardedReplayEquivalence(t *testing.T) {
+	sc := ScaleTiny()
+	sc.LossRate = 0.02
+	run := func(shards int) (Matrix, []byte) {
+		sc := sc
+		sc.ShardCount = shards
+		lab, err := NewLab(sc)
+		if err != nil {
+			t.Fatalf("lab: %v", err)
+		}
+		col := obs.NewCollector()
+		m, err := lab.RunMatrixOpt(nil, []overlay.Kind{overlay.Crawled}, nil,
+			MatrixOptions{Workers: 1, Series: col})
+		if err != nil {
+			t.Fatalf("matrix (%d shards): %v", shards, err)
+		}
+		return m, serializeRuns(t, col)
+	}
+	wantM, wantS := run(0)
+	for _, s := range []int{1, 2, 4, 7} {
+		m, series := run(s)
+		if !reflect.DeepEqual(wantM, m) {
+			t.Errorf("shards=%d: matrix diverged from unsharded replay", s)
+		}
+		if !bytes.Equal(wantS, series) {
+			t.Errorf("shards=%d: serialized series diverged from unsharded replay", s)
+		}
+	}
+}
+
+// TestShardCountIsNotPartOfTheSeed: sharding is pure execution strategy —
+// the auto count (negative, resolved from GOMAXPROCS at run time) must
+// yield the same Matrix as any explicit count, or replays would stop being
+// reproducible across machines.
+func TestShardCountIsNotPartOfTheSeed(t *testing.T) {
+	sc := ScaleTiny()
+	run := func(shards int) Matrix {
+		sc := sc
+		sc.ShardCount = shards
+		lab, err := NewLab(sc)
+		if err != nil {
+			t.Fatalf("lab: %v", err)
+		}
+		m, err := lab.RunMatrixOpt([]string{"asap-rw", "asap-gsa"}, []overlay.Kind{overlay.Random}, nil,
+			MatrixOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("matrix (%d shards): %v", shards, err)
+		}
+		return m
+	}
+	want := run(3)
+	if got := run(-1); !reflect.DeepEqual(want, got) {
+		t.Fatal("auto shard count changed the matrix")
+	}
+}

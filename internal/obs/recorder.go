@@ -90,6 +90,7 @@ type Recorder struct {
 	srchB   []int64 // per-row search-cost byte sums
 	hist    [HistBuckets]int64
 	timing  Timing
+	heap    *HeapGauge // peak-heap high-water gauge (nil = sampling off)
 }
 
 // NewRecorder sizes a recorder for a run of the given duration in

@@ -1,0 +1,56 @@
+package overlay
+
+// Sharding partitions a graph's node ID space [0, n) into s contiguous
+// ranges of near-equal size. Contiguity is what makes the partition useful
+// to the sharded replay engine: each shard owns a dense node range, so
+// per-shard state is a slice window, not a scatter, and ShardOf is one
+// multiply instead of a table lookup.
+//
+// The partition is a pure function of (n, s): shard i owns
+// [i*n/s, (i+1)*n/s). Every node belongs to exactly one shard and the
+// sizes differ by at most one, even when s does not divide n (the uneven
+// case the S=7 equivalence property exercises).
+type Sharding struct {
+	n int
+	s int
+}
+
+// NewSharding builds a partition of n nodes into s shards. s is clamped
+// to [1, min(s, n, MaxShards)]: more shards than nodes (or than the
+// 63-lane conflict-mask width) would only manufacture empty ranges.
+func NewSharding(n, s int) Sharding {
+	if s < 1 {
+		s = 1
+	}
+	if s > MaxShards {
+		s = MaxShards
+	}
+	if n > 0 && s > n {
+		s = n
+	}
+	return Sharding{n: n, s: s}
+}
+
+// MaxShards bounds the shard count. The replay engine tracks per-batch
+// reader/writer lane sets in one uint64 bitmask per node with the top bit
+// reserved for barrier-deferred work, so at most 63 lanes exist.
+const MaxShards = 63
+
+// NumShards returns the effective shard count after clamping.
+func (sh Sharding) NumShards() int { return sh.s }
+
+// NumNodes returns the partitioned ID-space size.
+func (sh Sharding) NumNodes() int { return sh.n }
+
+// ShardOf returns the shard owning node id — the inverse of Range's floor
+// boundaries, ⌈(id+1)·s/n⌉−1, so the two stay consistent when s does not
+// divide n. The caller guarantees 0 ≤ id < NumNodes.
+func (sh Sharding) ShardOf(id NodeID) int {
+	return int((uint64(id)*uint64(sh.s) + uint64(sh.s) - 1) / uint64(sh.n))
+}
+
+// Range returns shard i's node range [lo, hi).
+func (sh Sharding) Range(i int) (lo, hi NodeID) {
+	return NodeID(uint64(i) * uint64(sh.n) / uint64(sh.s)),
+		NodeID(uint64(i+1) * uint64(sh.n) / uint64(sh.s))
+}

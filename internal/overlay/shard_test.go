@@ -1,0 +1,41 @@
+package overlay
+
+import "testing"
+
+// TestShardingPartition: for a spread of (n, s) pairs — including s > n,
+// s > MaxShards and counts that divide nothing — every node belongs to
+// exactly the shard whose Range covers it, ranges tile [0, n) without gap
+// or overlap, and sizes differ by at most one.
+func TestShardingPartition(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{
+		{1, 1}, {10, 1}, {10, 3}, {100, 7}, {1000, 63}, {5, 8}, {40, 200}, {997, 13},
+	} {
+		sh := NewSharding(tc.n, tc.s)
+		s := sh.NumShards()
+		if s < 1 || s > MaxShards || s > tc.n {
+			t.Fatalf("NewSharding(%d,%d): %d shards out of range", tc.n, tc.s, s)
+		}
+		minSize, maxSize := tc.n, 0
+		var covered NodeID
+		for i := 0; i < s; i++ {
+			lo, hi := sh.Range(i)
+			if lo != covered {
+				t.Fatalf("NewSharding(%d,%d): shard %d starts at %d, want %d", tc.n, tc.s, i, lo, covered)
+			}
+			covered = hi
+			size := int(hi - lo)
+			minSize, maxSize = min(minSize, size), max(maxSize, size)
+			for id := lo; id < hi; id++ {
+				if got := sh.ShardOf(id); got != i {
+					t.Fatalf("NewSharding(%d,%d): ShardOf(%d) = %d, want %d", tc.n, tc.s, id, got, i)
+				}
+			}
+		}
+		if int(covered) != tc.n {
+			t.Fatalf("NewSharding(%d,%d): ranges cover [0,%d), want [0,%d)", tc.n, tc.s, covered, tc.n)
+		}
+		if maxSize-minSize > 1 {
+			t.Fatalf("NewSharding(%d,%d): shard sizes range %d..%d, want spread ≤ 1", tc.n, tc.s, minSize, maxSize)
+		}
+	}
+}

@@ -48,6 +48,14 @@ func (noopEvents) Tick(sim.Clock) {}
 // LoadMask returns the baseline accounting mask: query messages only.
 func (noopEvents) LoadMask() metrics.ClassMask { return metrics.BaselineLoadMask }
 
+// PureSearch implements sim.PureSearcher for every baseline: query-based
+// search keeps no distributed state, so a Search outcome is a pure
+// function of the batch-frozen system state and the query event (each
+// query draws from its own querySeed-derived RNG stream, never a shared
+// one). The sharded replay engine may therefore run baseline queries in
+// any lane without conflict analysis.
+func (noopEvents) PureSearch() {}
+
 // scratch is per-worker reusable cascade state. The stamp/epoch trick
 // avoids clearing the visit arrays between queries.
 type scratch struct {

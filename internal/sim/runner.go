@@ -71,6 +71,15 @@ type RunOptions struct {
 	// MaxBatch caps how many consecutive queries are fanned out at once;
 	// 0 means unlimited (a batch ends at the next state event).
 	MaxBatch int
+	// Shards selects the sharded replay engine (see shard.go): the node ID
+	// space splits into Shards contiguous ranges, query batches replay as a
+	// parallel intra-shard phase plus an ordered epoch-barrier drain, and
+	// the output stays byte-identical to the Workers=1 sequential replay at
+	// every shard count (including 1). 0 keeps the unsharded path; negative
+	// means auto (GOMAXPROCS, capped at overlay.MaxShards). Shards > 0
+	// overrides Workers for query batches. A scheme that implements neither
+	// SearchSharder nor PureSearcher falls back to the unsharded path.
+	Shards int
 }
 
 // Run replays the system's trace against the scheme and summarises the
@@ -84,15 +93,27 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 	tAttach := rec.Begin()
 	sch.Attach(sys)
 	rec.End(obs.PAttach, tAttach)
+	rec.SampleHeap()
 	tReplay := rec.Begin()
 
+	var dispatcher *shardDispatcher
+	if shards := opts.Shards; shards != 0 {
+		if shards < 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		dispatcher = newShardDispatcher(sch, sys.NumNodes(), shards)
+	}
 	stats := &metrics.SearchStats{}
 	var batch []*trace.Event
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		runBatch(batch, sch, stats, workers, rec)
+		if dispatcher != nil {
+			dispatcher.runBatch(batch, stats, rec)
+		} else {
+			runBatch(batch, sch, stats, workers, rec)
+		}
 		batch = batch[:0]
 	}
 
@@ -108,6 +129,9 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 			sys.Load.SetLive(curSec, sys.G.LiveCount())
 			sch.Tick(int64(curSec) * 1000)
 			nextTick += 1000
+			// One heap high-water sample per simulated second: free when no
+			// gauge is attached, dense enough to catch the replay peak.
+			rec.SampleHeap()
 		}
 	}
 	leaver, hasLeaver := sch.(GracefulLeaver)
@@ -167,6 +191,7 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 	flush()
 	// Fill the remaining seconds so the load series covers the full span.
 	advance(int64(sys.Load.Seconds()) * 1000)
+	rec.SampleHeap()
 	rec.End(obs.PReplay, tReplay)
 
 	return metrics.Summarize(sch.Name(), sys.G.Kind().String(), stats, sys.Load, sch.LoadMask())
