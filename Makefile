@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate shard-smoke mem-gate profile check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate shard-smoke mem-gate net-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,7 @@ bench:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceDecodeJSON$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzFilterWire$$' -fuzztime $(FUZZTIME) ./internal/bloom
 	$(GO) test -run '^$$' -fuzz '^FuzzPatchDecode$$' -fuzztime $(FUZZTIME) ./internal/bloom
 	$(GO) test -run '^$$' -fuzz '^FuzzSlicedGeometry$$' -fuzztime $(FUZZTIME) ./internal/bloom
@@ -74,11 +75,13 @@ bench-replay:
 	$(GO) test -run '^$$' -bench 'BenchmarkScanChains' -benchtime 100x -benchmem ./internal/core
 
 # Zero-alloc gates: the obs-off hot path (promised in internal/obs), the
-# warmed-up delivery hot loops (flood, walk, applyAd) and the warmed-up
-# replay scan paths (scanCache, serveAds).
+# warmed-up delivery hot loops (flood, walk, applyAd), the warmed-up
+# replay scan paths (scanCache, serveAds), and patch sizing on the publish
+# path (exact even for unsorted caller-built lists).
 alloc-gate:
 	$(GO) test -run 'TestObsOffHotPathAllocs' -count=1 .
 	$(GO) test -run 'TestDeliveryHotPathAllocs|TestScanHotPathAllocs' -count=1 ./internal/core
+	$(GO) test -run 'TestPatchWireSizeAllocs' -count=1 ./internal/bloom
 
 # Sharded-replay equivalence under the race detector: the tiny matrix under
 # churn × 2% loss must be byte-identical to the unsharded Workers=1 replay
@@ -95,6 +98,14 @@ shard-smoke:
 mem-gate:
 	$(GO) test -run 'TestSmallReplayPeakHeapBound' -count=1 ./internal/experiments
 
+# Socket-layer equivalence under the race detector: a 3-daemon asapnode
+# cluster (in-memory pipes, loopback TCP, and real OS processes) serves
+# the tiny trace over length-prefixed frames and must produce the exact
+# in-memory sequential summary, with every cross-replica verification
+# passing. Frame/codec hostile-input tests ride along.
+net-smoke:
+	$(GO) test -race -count=1 ./internal/transport ./internal/cluster
+
 # Profile a small-scale matrix run; inspect with `go tool pprof out/cpu.pb`.
 profile:
 	mkdir -p out
@@ -102,4 +113,4 @@ profile:
 		-cpuprofile out/cpu.pb -memprofile out/mem.pb -mutexprofile out/mutex.pb
 	@echo "profiles written to out/{cpu,mem,mutex}.pb"
 
-check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate shard-smoke mem-gate fuzz-smoke
+check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate shard-smoke mem-gate net-smoke fuzz-smoke

@@ -1,0 +1,60 @@
+// Command asapnode is a long-running ASAP overlay node daemon. It binds a
+// listen address, prints it, and then serves two kinds of peers over
+// length-prefixed frames: the cluster harness (which configures the
+// replica, steps the replay, and collects the summary) and fellow daemons
+// (which push ad publications and ask search-time questions — content
+// confirmations and ads requests). See internal/cluster for the execution
+// model and protocol.
+//
+// Flags given explicitly pin the daemon to that configuration: a harness
+// Hello that disagrees with a pinned -scale/-scheme/-topo/-seed is
+// rejected, so a daemon started for one experiment cannot be silently
+// recruited into another. Flags left at their defaults accept whatever
+// the Hello proposes.
+//
+// Usage:
+//
+//	asapnode -listen 127.0.0.1:0
+//	asapnode -listen 127.0.0.1:7440 -scale tiny -scheme asap -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asap/internal/cliutil"
+	"asap/internal/cluster"
+	"asap/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address (\":0\" picks a free port)")
+	scale := flag.String("scale", "", "pin the experiment scale preset (empty: accept the harness's)")
+	scheme := flag.String("scheme", "", "pin the scheme (empty: accept the harness's)")
+	topo := flag.String("topo", "", "pin the overlay topology (empty: accept the harness's)")
+	seed := flag.Uint64("seed", 0, "pin the run seed (only if given explicitly; 0 is a valid seed)")
+	flag.Parse()
+
+	pins := cluster.Pins{Scale: *scale, Scheme: *scheme, Topo: *topo}
+	// -seed 0 must pin too, so presence — not value — decides (cliutil).
+	if cliutil.WasSet("seed") {
+		pins.Seed, pins.HasSeed = *seed, true
+	}
+
+	tp := transport.TCP{}
+	ln, err := tp.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asapnode: %v\n", err)
+		os.Exit(1)
+	}
+	// The bound address is the startup contract: launchers read it to
+	// learn the kernel-assigned port before dialing.
+	fmt.Printf("listening %s\n", ln.Addr())
+
+	e := cluster.NewEngine(tp, ln, pins)
+	if err := e.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "asapnode: %v\n", err)
+		os.Exit(1)
+	}
+}

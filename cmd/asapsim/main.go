@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"asap/internal/cliutil"
 	"asap/internal/experiments"
 	"asap/internal/metrics"
 	"asap/internal/obs"
@@ -49,12 +50,7 @@ func main() {
 	flag.Parse()
 	// -shards unset keeps the preset's own default (mega shards by
 	// default); set, it overrides the preset either way.
-	shardsOverride := noShardOverride
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "shards" {
-			shardsOverride = *shards
-		}
-	})
+	shardsOverride := cliutil.IntOverride("shards", *shards)
 	stopProf, err := obs.StartProfiles(*cpuProf, *memProf, *mutexProf, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asapsim:", err)
@@ -70,18 +66,13 @@ func main() {
 	}
 }
 
-// noShardOverride marks "-shards not given: keep the preset's default".
-const noShardOverride = int(^uint(0)>>1) - 1
-
 func run(scaleName, scheme, topoName, traceFile string, workers, shardsOverride int, seed uint64, series bool, seriesDir string) error {
 	sc, err := experiments.ByName(scaleName)
 	if err != nil {
 		return err
 	}
 	sc.Workers = workers
-	if shardsOverride != noShardOverride {
-		sc.ShardCount = shardsOverride
-	}
+	cliutil.ApplyInt(shardsOverride, &sc.ShardCount)
 	sc.Seed = seed
 	kind := overlay.Kind(255)
 	for _, k := range overlay.Kinds {

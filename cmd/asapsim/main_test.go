@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"asap/internal/cliutil"
 	"asap/internal/content"
 	"asap/internal/experiments"
 	"asap/internal/trace"
@@ -29,16 +30,16 @@ func captureStdout(t *testing.T, fn func() error) (string, error) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("bogus", "asap-rw", "crawled", "", 0, noShardOverride, 1, false, ""); err == nil {
+	if err := run("bogus", "asap-rw", "crawled", "", 0, cliutil.NoOverride, 1, false, ""); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if err := run("tiny", "bogus", "crawled", "", 0, noShardOverride, 1, false, ""); err == nil {
+	if err := run("tiny", "bogus", "crawled", "", 0, cliutil.NoOverride, 1, false, ""); err == nil {
 		t.Error("bad scheme accepted")
 	}
-	if err := run("tiny", "asap-rw", "mesh", "", 0, noShardOverride, 1, false, ""); err == nil {
+	if err := run("tiny", "asap-rw", "mesh", "", 0, cliutil.NoOverride, 1, false, ""); err == nil {
 		t.Error("bad topology accepted")
 	}
-	if err := run("tiny", "asap-rw", "crawled", "/nonexistent/trace.bin", 0, noShardOverride, 1, false, ""); err == nil {
+	if err := run("tiny", "asap-rw", "crawled", "/nonexistent/trace.bin", 0, cliutil.NoOverride, 1, false, ""); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }
@@ -48,7 +49,7 @@ func TestRunPrintsMetrics(t *testing.T) {
 		t.Skip("tiny run in -short mode")
 	}
 	out, err := captureStdout(t, func() error {
-		return run("tiny", "asap-rw", "crawled", "", 0, noShardOverride, 1, true, "")
+		return run("tiny", "asap-rw", "crawled", "", 0, cliutil.NoOverride, 1, true, "")
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -88,7 +89,7 @@ func TestRunWithExternalTrace(t *testing.T) {
 	f.Close()
 
 	out, err := captureStdout(t, func() error {
-		return run("tiny", "flooding", "random", path, 0, noShardOverride, 1, false, "")
+		return run("tiny", "flooding", "random", path, 0, cliutil.NoOverride, 1, false, "")
 	})
 	if err != nil {
 		t.Fatalf("run with trace file: %v", err)

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"asap/internal/cliutil"
 	"asap/internal/experiments"
 	"asap/internal/obs"
 	"asap/internal/overlay"
@@ -64,12 +65,7 @@ func main() {
 	}
 	// -shards unset keeps each preset's own default (mega shards by
 	// default); set, it overrides the preset either way.
-	shardsOverride := noShardOverride
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "shards" {
-			shardsOverride = *shards
-		}
-	})
+	shardsOverride := cliutil.IntOverride("shards", *shards)
 	stopProf, err := obs.StartProfiles(*cpuProf, *memProf, *mutexProf, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -100,14 +96,9 @@ func main() {
 	}
 }
 
-// noShardOverride marks "-shards not given: keep the preset's default".
-const noShardOverride = int(^uint(0)>>1) - 1
-
 // applyShards folds the -shards flag into the preset.
 func applyShards(sc *experiments.Scale, override int) {
-	if override != noShardOverride {
-		sc.ShardCount = override
-	}
+	cliutil.ApplyInt(override, &sc.ShardCount)
 }
 
 func run(scaleName, figure, schemeCSV, topoCSV string, workers, matrixWorkers int, seed uint64, loss float64, seriesDir string, shardsOverride int, quiet bool) error {

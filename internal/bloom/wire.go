@@ -25,12 +25,15 @@ func (p Patch) Len() int { return len(p.Set) + len(p.Cleared) }
 // WireSize returns the encoded size of the patch in bytes. It computes
 // the varint lengths directly instead of materialising the encoding — the
 // publish hot path sizes a patch per content change and must not allocate
-// for it.
+// for it, not even for a caller-built unsorted list.
 func (p Patch) WireSize() int {
 	s := encodedPosListLen(p.Set)
+	if s < 0 {
+		s = unsortedPosListLen(p.Set)
+	}
 	c := encodedPosListLen(p.Cleared)
-	if s < 0 || c < 0 {
-		return len(p.Encode()) // unsorted list: let Encode's sort normalise
+	if c < 0 {
+		c = unsortedPosListLen(p.Cleared)
 	}
 	return s + c
 }
@@ -199,6 +202,44 @@ func encodedPosListLen(pos []uint32) int {
 			n += uvarintLen(uint64(p - prev))
 		}
 		prev = p
+	}
+	return n
+}
+
+// unsortedPosListLen sizes appendPosList's output for an out-of-order
+// list without sorting a copy: it walks the distinct values in ascending
+// order by repeated min-extraction, summing the same count + first-value +
+// delta varints the encoder writes. Duplicates sort adjacent and encode as
+// one-byte zero deltas. O(distinct · len) time, zero allocations — the
+// sorted fast path (encodedPosListLen) covers every list the diff engine
+// itself produces, so this only runs on caller-built patches.
+func unsortedPosListLen(pos []uint32) int {
+	n := uvarintLen(uint64(len(pos)))
+	lo := uint32(0)   // next distinct value is the minimum ≥ lo
+	prev := uint32(0) // previous distinct value, for delta sizing
+	first := true
+	for left := len(pos); left > 0; {
+		cur := ^uint32(0)
+		cnt := 0
+		for _, p := range pos {
+			switch {
+			case p < lo || p > cur:
+			case p < cur:
+				cur, cnt = p, 1
+			default:
+				cnt++
+			}
+		}
+		if first {
+			n += uvarintLen(uint64(cur))
+			first = false
+		} else {
+			n += uvarintLen(uint64(cur - prev))
+		}
+		n += cnt - 1 // duplicates: zero deltas, one byte each
+		prev = cur
+		lo = cur + 1 // cur == MaxUint32 wraps lo to 0, but then left is 0
+		left -= cnt
 	}
 	return n
 }

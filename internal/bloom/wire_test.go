@@ -137,6 +137,56 @@ func TestPatchWireSizeScalesWithChanges(t *testing.T) {
 	}
 }
 
+// Property: WireSize equals the materialised encoding's length for any
+// position list — sorted, reversed, shuffled, or with duplicates. The
+// unsorted path sizes by min-extraction instead of sorting a copy, so this
+// pins the two walks against each other.
+func TestPatchWireSizeExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 7))
+	lists := [][]uint32{
+		nil,
+		{},
+		{0},
+		{5, 1},
+		{9, 9, 9},
+		{1 << 30, 0, 1 << 30, 77, 77},
+		{^uint32(0) >> 1, 0, ^uint32(0) >> 1},
+	}
+	for i := 0; i < 50; i++ {
+		n := rng.IntN(40)
+		l := make([]uint32, n)
+		for j := range l {
+			l[j] = uint32(rng.IntN(1 << 14)) // small domain: plenty of dups
+		}
+		lists = append(lists, l)
+	}
+	for i, set := range lists {
+		for j, cleared := range lists {
+			p := Patch{Set: set, Cleared: cleared}
+			if got, want := p.WireSize(), len(p.Encode()); got != want {
+				t.Fatalf("lists %d/%d: WireSize %d, Encode %d bytes", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestPatchWireSizeAllocs is the publish-path zero-alloc gate (wired into
+// `make alloc-gate`): sizing a patch must not allocate even when the
+// position lists arrive out of order — the documented contract WireSize
+// previously broke by falling back to len(p.Encode()).
+func TestPatchWireSizeAllocs(t *testing.T) {
+	sorted := Patch{Set: []uint32{1, 5, 9, 9, 200}, Cleared: []uint32{0, 3}}
+	unsorted := Patch{Set: []uint32{900, 4, 4, 31, 2}, Cleared: []uint32{77, 0, 77}}
+	sink := 0
+	if a := testing.AllocsPerRun(100, func() { sink += sorted.WireSize() }); a != 0 {
+		t.Errorf("sorted WireSize allocates %.1f times per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { sink += unsorted.WireSize() }); a != 0 {
+		t.Errorf("unsorted WireSize allocates %.1f times per call, want 0", a)
+	}
+	_ = sink
+}
+
 func TestDecodeErrors(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asap/internal/metrics"
+	"asap/internal/transport"
+)
+
+var tinySpec = Spec{Scale: "tiny", Scheme: "asap-fld", Topo: "random", Seed: 42}
+
+func runCluster(t *testing.T, tp transport.Transport, spec Spec, daemons int, launch func(i int) NodeConfig) Result {
+	t.Helper()
+	nw := NewNetwork(tp, spec)
+	defer nw.Close()
+	for i := 0; i < daemons; i++ {
+		cfg := NodeConfig{}
+		if launch != nil {
+			cfg = launch(i)
+		}
+		if _, err := nw.AddNode(cfg); err != nil {
+			t.Fatalf("adding daemon %d: %v", i, err)
+		}
+	}
+	res, err := nw.RunPlan(Plan{})
+	if err != nil {
+		t.Fatalf("plan failed after %d batches, %d queries: %v", res.Batches, res.Queries, err)
+	}
+	return res
+}
+
+func assertSummaryEqual(t *testing.T, cluster, sim metrics.Summary) {
+	t.Helper()
+	a, err := json.Marshal(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("cluster summary diverges from the in-memory sim:\n  cluster: %s\n  sim:     %s", a, b)
+	}
+}
+
+// TestClusterMemEquivalence drives a 3-daemon cluster over the in-memory
+// transport through the full tiny trace and requires the summary to equal
+// the sequential in-memory sim of the same configuration.
+func TestClusterMemEquivalence(t *testing.T) {
+	res := runCluster(t, transport.Mem{}, tinySpec, 3, nil)
+	want, err := SimBaseline(tinySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSummaryEqual(t, res.Summary, want)
+	if !res.Done || res.Queries == 0 {
+		t.Fatalf("plan consumed done=%v queries=%d, want the full trace", res.Done, res.Queries)
+	}
+	checkNet(t, res.Net)
+}
+
+// TestClusterTCPEquivalence is the headline acceptance check: three
+// daemons on loopback TCP sockets serve the paper trace over real frames
+// and still reproduce the in-memory sim byte-for-byte.
+func TestClusterTCPEquivalence(t *testing.T) {
+	res := runCluster(t, transport.TCP{}, tinySpec, 3, nil)
+	want, err := SimBaseline(tinySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSummaryEqual(t, res.Summary, want)
+	checkNet(t, res.Net)
+}
+
+// checkNet requires that real wire traffic happened and that every
+// verification succeeded (any divergence would have failed the plan).
+func checkNet(t *testing.T, net []NetStats) {
+	t.Helper()
+	var tot NetStats
+	for _, n := range net {
+		tot.AdsOut += n.AdsOut
+		tot.AdsVerified += n.AdsVerified
+		tot.ConfirmsOut += n.ConfirmsOut
+		tot.AdsReqOut += n.AdsReqOut
+	}
+	if tot.AdsOut == 0 {
+		t.Error("no ads crossed the wire")
+	}
+	if tot.AdsVerified == 0 {
+		t.Error("no received ads were verified")
+	}
+	if tot.ConfirmsOut == 0 {
+		t.Error("no confirmations crossed the wire")
+	}
+	if tot.AdsReqOut == 0 {
+		t.Error("no ads requests crossed the wire")
+	}
+}
+
+// TestClusterBaselineScheme replicates a non-ASAP scheme: no mesh
+// exchanges happen (the seam only exists on *core.Scheme), but the
+// replicas still step in lockstep and agree with the sim.
+func TestClusterBaselineScheme(t *testing.T) {
+	spec := Spec{Scale: "tiny", Scheme: "flooding", Topo: "random", Seed: 7}
+	res := runCluster(t, transport.Mem{}, spec, 2, nil)
+	want, err := SimBaseline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSummaryEqual(t, res.Summary, want)
+	for i, n := range res.Net {
+		if n.ConfirmsOut != 0 || n.AdsOut != 0 {
+			t.Errorf("daemon %d did wire exchanges under flooding: %+v", i, n)
+		}
+	}
+}
+
+// TestPinnedDaemonRejectsMismatchedHello checks the operator-pin contract:
+// a daemon started for one experiment refuses recruitment into another.
+func TestPinnedDaemonRejectsMismatchedHello(t *testing.T) {
+	nw := NewNetwork(transport.Mem{}, tinySpec)
+	defer nw.Close()
+	if _, err := nw.AddNode(NodeConfig{Pins: Pins{Scheme: "asap-rw"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := nw.RunPlan(Plan{})
+	if err == nil || !strings.Contains(err.Error(), "pinned") {
+		t.Fatalf("mismatched hello not rejected: %v", err)
+	}
+}
+
+// TestAsapnodeExec builds the real asapnode binary and runs the cluster
+// against three separate OS processes — the daemon as it actually ships.
+func TestAsapnodeExec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping exec-mode cluster in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "asapnode")
+	build := exec.Command("go", "build", "-o", bin, "asap/cmd/asapnode")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build asapnode (no toolchain?): %v\n%s", err, out)
+	}
+
+	launch := func(i int) NodeConfig {
+		return NodeConfig{Launch: func() (string, error) {
+			cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-scale", tinySpec.Scale, "-seed", fmt.Sprint(tinySpec.Seed))
+			stdout, err := cmd.StdoutPipe()
+			if err != nil {
+				return "", err
+			}
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return "", err
+			}
+			t.Cleanup(func() {
+				cmd.Process.Kill()
+				cmd.Wait()
+			})
+			// The daemon prints its bound address once listening.
+			sc := bufio.NewScanner(stdout)
+			if !sc.Scan() {
+				return "", fmt.Errorf("daemon %d exited before announcing its address", i)
+			}
+			addr, ok := strings.CutPrefix(sc.Text(), "listening ")
+			if !ok {
+				return "", fmt.Errorf("unexpected daemon banner %q", sc.Text())
+			}
+			go func() { // drain any further output
+				for sc.Scan() {
+				}
+			}()
+			return addr, nil
+		}}
+	}
+
+	res := runCluster(t, transport.TCP{}, tinySpec, 3, launch)
+	want, err := SimBaseline(tinySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSummaryEqual(t, res.Summary, want)
+	checkNet(t, res.Net)
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"asap/internal/metrics"
+	"asap/internal/transport"
+)
+
+// Spec names the experiment every daemon in a Network replicates.
+type Spec struct {
+	Scale  string
+	Scheme string
+	Topo   string
+	Seed   uint64
+	Loss   float64
+}
+
+// NodeConfig describes one daemon to add to a Network.
+type NodeConfig struct {
+	// Launch starts the daemon and returns its bound listen address (which
+	// must be reachable through the network's transport). Nil launches an
+	// in-process Engine served on a goroutine — the default, and what the
+	// equivalence tests use; the asapnode exec test launches the real
+	// binary here instead.
+	Launch func() (addr string, err error)
+	// Pins restrict the in-process default launch exactly like asapnode
+	// command-line flags restrict the daemon. Ignored when Launch is set.
+	Pins Pins
+}
+
+// Plan is a declarative scenario: the harness always runs the full
+// join → warm-up → query batches → graceful-leave sequence; the plan
+// bounds it.
+type Plan struct {
+	// MaxBatches caps how many query runs to execute; 0 runs the whole
+	// trace (required for summary equivalence with the in-memory sim).
+	MaxBatches int
+}
+
+// Result is what a completed plan produced, after every cross-daemon
+// equality assertion has passed.
+type Result struct {
+	Summary metrics.Summary
+	Queries int
+	Batches int
+	Done    bool       // the trace was fully consumed
+	Net     []NetStats // per daemon, in index order
+}
+
+// Network is the declarative cluster harness: add N daemons, then run a
+// plan. It drives all daemons in lockstep over one control connection
+// each, asserting after every step that the replicas agree — on query
+// batches, on every query result, and on the final summary.
+type Network struct {
+	tp      transport.Transport
+	spec    Spec
+	addrs   []string
+	ctls    []*transport.Conn
+	engines []*Engine // in-process default launches, for cleanup
+}
+
+// NewNetwork creates an empty cluster over the given transport backend.
+func NewNetwork(tp transport.Transport, spec Spec) *Network {
+	return &Network{tp: tp, spec: spec}
+}
+
+func (nw *Network) defaultListen() string {
+	if _, isTCP := nw.tp.(transport.TCP); isTCP {
+		return "127.0.0.1:0"
+	}
+	return "" // Mem allocates a fresh mem:n address
+}
+
+// AddNode launches one daemon and opens its control connection, retrying
+// the dial until the daemon is reachable. It returns the daemon's index.
+func (nw *Network) AddNode(cfg NodeConfig) (int, error) {
+	var addr string
+	if cfg.Launch != nil {
+		a, err := cfg.Launch()
+		if err != nil {
+			return 0, err
+		}
+		addr = a
+	} else {
+		ln, err := nw.tp.Listen(nw.defaultListen())
+		if err != nil {
+			return 0, err
+		}
+		e := NewEngine(nw.tp, ln, cfg.Pins)
+		go e.Serve()
+		nw.engines = append(nw.engines, e)
+		addr = ln.Addr()
+	}
+	ctl, err := nw.dialRetry(addr)
+	if err != nil {
+		return 0, fmt.Errorf("daemon at %s never became reachable: %w", addr, err)
+	}
+	nw.addrs = append(nw.addrs, addr)
+	nw.ctls = append(nw.ctls, ctl)
+	return len(nw.ctls) - 1, nil
+}
+
+func (nw *Network) dialRetry(addr string) (*transport.Conn, error) {
+	var err error
+	for attempt := 0; attempt < 150; attempt++ {
+		var c *transport.Conn
+		if c, err = nw.tp.Dial(addr); err == nil {
+			return c, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// Close tears down the harness side: control connections and any
+// in-process daemons still listening. Safe after RunPlan (which already
+// said Bye) and after partial failures.
+func (nw *Network) Close() {
+	for _, c := range nw.ctls {
+		c.Close()
+	}
+	for _, e := range nw.engines {
+		e.shutdown()
+	}
+}
+
+// readReply reads one control reply, decoding a daemon-side MErr into an
+// error and anything else into v (when non-nil) after checking the type.
+func readReply(c *transport.Conn, want transport.MsgType, v any) error {
+	t, p, err := c.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if t == transport.MErr {
+		var em transport.ErrMsg
+		if json.Unmarshal(p, &em) == nil && em.Msg != "" {
+			return fmt.Errorf("daemon: %s", em.Msg)
+		}
+		return fmt.Errorf("daemon error (undecodable payload)")
+	}
+	if t != want {
+		return fmt.Errorf("expected control frame type %d, got %d", want, t)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(p, v)
+}
+
+// RunPlan drives the scenario: configure every daemon (Hello), wire the
+// mesh (Peers), warm up, advance through the trace executing each query
+// on every replica, summarise, and say goodbye. Any daemon error, wire
+// failure or cross-replica disagreement aborts with a descriptive error.
+func (nw *Network) RunPlan(p Plan) (Result, error) {
+	n := len(nw.ctls)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cluster has no daemons")
+	}
+	// Join: configure each replica with its shard placement.
+	for i, c := range nw.ctls {
+		h := HelloMsg{Scale: nw.spec.Scale, Scheme: nw.spec.Scheme, Topo: nw.spec.Topo,
+			Seed: nw.spec.Seed, Loss: nw.spec.Loss, Index: i, Nodes: n}
+		if err := c.WriteJSON(transport.MHello, h); err != nil {
+			return Result{}, err
+		}
+		var ok HelloOK
+		if err := readReply(c, transport.MHelloOK, &ok); err != nil {
+			return Result{}, fmt.Errorf("daemon %d hello: %w", i, err)
+		}
+	}
+	// Mesh: every daemon dials every other.
+	for i, c := range nw.ctls {
+		if err := c.WriteJSON(transport.MPeers, PeersMsg{Addrs: nw.addrs}); err != nil {
+			return Result{}, err
+		}
+		if err := readReply(c, transport.MPeersOK, nil); err != nil {
+			return Result{}, fmt.Errorf("daemon %d peers: %w", i, err)
+		}
+	}
+	// Warm-up: attach replicas; owned warm-up ads broadcast here.
+	for i, c := range nw.ctls {
+		if err := c.WriteFrame(transport.MWarmup, nil); err != nil {
+			return Result{}, err
+		}
+		var ok WarmupOK
+		if err := readReply(c, transport.MWarmupOK, &ok); err != nil {
+			return Result{}, fmt.Errorf("daemon %d warmup: %w", i, err)
+		}
+	}
+
+	var res Result
+	advances := make([]AdvanceOK, n)
+	answers := make([]QueryOK, n)
+	for p.MaxBatches == 0 || res.Batches < p.MaxBatches {
+		for i, c := range nw.ctls {
+			if err := c.WriteFrame(transport.MAdvance, nil); err != nil {
+				return res, err
+			}
+			if err := readReply(c, transport.MAdvanceOK, &advances[i]); err != nil {
+				return res, fmt.Errorf("daemon %d advance: %w", i, err)
+			}
+			if i > 0 {
+				if err := assertEqual("batch", i, advances[0], advances[i], func(a AdvanceOK) any {
+					return struct {
+						Done    bool
+						Queries []QueryRef
+					}{a.Done, a.Queries}
+				}); err != nil {
+					return res, err
+				}
+			}
+		}
+		if advances[0].Done {
+			res.Done = true
+			break
+		}
+		res.Batches++
+		for qi := range advances[0].Queries {
+			owners := 0
+			for i, c := range nw.ctls {
+				if err := c.WriteJSON(transport.MQuery, QueryMsg{Index: qi}); err != nil {
+					return res, err
+				}
+				if err := readReply(c, transport.MQueryOK, &answers[i]); err != nil {
+					return res, fmt.Errorf("daemon %d query %d/%d: %w", i, res.Batches, qi, err)
+				}
+				if answers[i].Owner {
+					owners++
+				}
+				if i > 0 {
+					if err := assertEqual("query result", i, answers[0], answers[i], func(q QueryOK) any {
+						return q.Result
+					}); err != nil {
+						return res, err
+					}
+				}
+			}
+			if owners != 1 {
+				return res, fmt.Errorf("query %d/%d owned by %d daemons, want exactly 1", res.Batches, qi, owners)
+			}
+			res.Queries++
+		}
+	}
+
+	// Summarise and assert every replica converged to the same run.
+	sums := make([]SummaryMsg, n)
+	for i, c := range nw.ctls {
+		if err := c.WriteFrame(transport.MFinish, nil); err != nil {
+			return res, err
+		}
+		if err := readReply(c, transport.MSummary, &sums[i]); err != nil {
+			return res, fmt.Errorf("daemon %d finish: %w", i, err)
+		}
+		res.Net = append(res.Net, sums[i].Net)
+		if i > 0 {
+			if err := assertEqual("summary", i, sums[0], sums[i], func(s SummaryMsg) any {
+				return s.Summary
+			}); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Summary = sums[0].Summary
+
+	// Graceful leave.
+	for i, c := range nw.ctls {
+		if err := c.WriteFrame(transport.MBye, nil); err != nil {
+			return res, err
+		}
+		if err := readReply(c, transport.MByeOK, nil); err != nil {
+			return res, fmt.Errorf("daemon %d bye: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// assertEqual compares daemon i's view against daemon 0's via a JSON
+// projection, producing a readable divergence error on mismatch.
+func assertEqual[T any](what string, i int, ref, got T, project func(T) any) error {
+	a, err := json.Marshal(project(ref))
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(project(got))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("replica divergence: daemon %d reports a different %s than daemon 0:\n  daemon 0: %s\n  daemon %d: %s",
+			i, what, a, i, b)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package cluster stands up multi-process ASAP overlays: a node daemon
+// engine (Engine, the brain of cmd/asapnode) and a declarative harness
+// (Network) that launches N daemons, wires them into a full mesh, drives a
+// scenario plan — join, warm-up, query batches, graceful leave — and
+// asserts that every replica agrees at every step.
+//
+// # Execution model: lockstep full replication
+//
+// Every daemon builds the complete deterministic replica — the same lab
+// (network, universe, trace) from the same preset and seed, the same
+// system, the same scheme — and applies every trace event locally, so all
+// replicas hold identical state and the scheme's shared RNG advances
+// identically everywhere. Node ownership (a contiguous shard of the node
+// ID space per daemon) decides who speaks for a node on the wire:
+//
+//   - Ads a daemon's own nodes publish are pushed to every peer daemon,
+//     which verifies the received bytes against its local replica.
+//   - At query time, the scheme's search-side exchanges — content
+//     confirmations and ads requests — go over TCP to the daemon owning
+//     the contacted node (via the core.Peering seam), and the reply is
+//     checked against the local replica's own answer.
+//
+// Remote answers therefore never change the replay: they are
+// cross-replica consistency proofs, and any disagreement fails the run.
+// The payoff is that the summary a daemon cluster produces is equal, by
+// construction and by assertion, to the in-memory sequential sim of the
+// same trace — the equivalence the tests pin. This is stage one of the
+// socket layer: real frames, real sockets, real serving paths, with the
+// sim as ground truth; partitioned (non-replicated) state is future work.
+//
+// # Control protocol
+//
+// The harness holds one control connection per daemon and steps all
+// daemons in lockstep: Hello (build the replica) → Peers (dial the mesh)
+// → Warmup (attach + warm-up ad broadcast) → repeated Advance (apply
+// state events up to the next query run, broadcasting owned ads) and
+// Query (execute one query on every replica) → Finish (summarise) → Bye.
+// Control payloads are JSON; mesh payloads are the binary wire encodings
+// (see internal/transport).
+package cluster
+
+import (
+	"asap/internal/metrics"
+)
+
+// HelloMsg configures a daemon's replica. Index/Nodes place the daemon in
+// the cluster: it owns shard Index of Nodes over the node ID space.
+type HelloMsg struct {
+	Scale  string  `json:"scale"`
+	Scheme string  `json:"scheme"`
+	Topo   string  `json:"topo"`
+	Seed   uint64  `json:"seed"`
+	Loss   float64 `json:"loss,omitempty"`
+	Index  int     `json:"index"`
+	Nodes  int     `json:"nodes"`
+}
+
+// HelloOK acknowledges a Hello.
+type HelloOK struct {
+	Addr     string `json:"addr"` // the daemon's bound listen address
+	NumNodes int    `json:"num_nodes"`
+}
+
+// PeersMsg lists every daemon's listen address, in daemon-index order.
+type PeersMsg struct {
+	Addrs []string `json:"addrs"`
+}
+
+// WarmupOK acknowledges warm-up completion.
+type WarmupOK struct {
+	Broadcast int `json:"broadcast"` // owned warm-up ads pushed to peers
+}
+
+// QueryRef identifies one query of the current batch; the harness asserts
+// every replica reports the identical batch.
+type QueryRef struct {
+	T     int64    `json:"t"`
+	Node  int32    `json:"node"`
+	Terms []uint32 `json:"terms"`
+}
+
+// AdvanceOK reports the query run the replay stopped at.
+type AdvanceOK struct {
+	Done      bool       `json:"done"` // trace exhausted; no queries follow
+	Broadcast int        `json:"broadcast"`
+	Queries   []QueryRef `json:"queries,omitempty"`
+}
+
+// QueryMsg asks the daemon to execute query Index of the current batch.
+type QueryMsg struct {
+	Index int `json:"index"`
+}
+
+// QueryOK carries one query's outcome. Owner marks the daemon owning the
+// issuing node — the one whose search actually crossed the wire.
+type QueryOK struct {
+	Result metrics.SearchResult `json:"result"`
+	Owner  bool                 `json:"owner"`
+}
+
+// NetStats counts a daemon's wire activity (diagnostics; the harness
+// asserts the verification counters, never the traffic volumes).
+type NetStats struct {
+	AdsOut        int64 `json:"ads_out"`        // owned publications pushed
+	AdsIn         int64 `json:"ads_in"`         // peer publications received
+	AdsVerified   int64 `json:"ads_verified"`   // received ads byte-checked OK
+	AdsSuperseded int64 `json:"ads_superseded"` // received ads already outdated locally
+	ConfirmsOut   int64 `json:"confirms_out"`   // confirmations sent over the wire
+	ConfirmsIn    int64 `json:"confirms_in"`    // confirmations served to peers
+	AdsReqOut     int64 `json:"ads_req_out"`    // ads requests sent over the wire
+	AdsReqIn      int64 `json:"ads_req_in"`     // ads requests served to peers
+}
+
+// SummaryMsg is a daemon's final report.
+type SummaryMsg struct {
+	Summary metrics.Summary `json:"summary"`
+	Net     NetStats        `json:"net"`
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// The transport seam. A Scheme normally runs self-contained inside one
+// process; the asapnode daemon (internal/cluster) instead runs one replica
+// of the scheme per process and performs the search-time exchanges —
+// content confirmations and ads requests — over real connections. The seam
+// has two halves:
+//
+//   - Outbound (Peering): the scheme resolves each exchange's verdict
+//     through the installed Peering instead of purely local state. Every
+//     hook also receives the local replica's own answer, so an
+//     implementation can verify remote state against local state and
+//     detect replica divergence; returning the local answers unchanged
+//     makes the hook a pure observer and keeps the replay byte-identical
+//     to the unpeered run.
+//   - Inbound (ConfirmWire, ServeAdsWire, PublishedAd, AdObserver): the
+//     read-only serving methods a daemon's connection handlers call to
+//     answer a remote scheme's exchanges from this replica, plus the
+//     publication hook that tells a daemon which ads to push to its peers.
+//
+// All serving methods take the same locks the in-process search path
+// takes, so they are safe to call from connection goroutines while the
+// local replica is executing a query batch. None of them touch the
+// scheme's RNG or the fault plane: serving a remote peer never perturbs
+// the local replay.
+type Peering interface {
+	// Confirm resolves one content confirmation: does candidate src answer
+	// (it is alive) and do its group contents match every term.
+	// localAlive/localMatch are this replica's own verdicts; requester is
+	// the searching node (after any super-peer rerouting). The returned
+	// verdicts drive the retry loop and the hit count exactly as the local
+	// ones would.
+	Confirm(requester, src overlay.NodeID, terms []content.Keyword, localAlive, localMatch bool) (alive, match bool)
+
+	// ServeAds observes one ads-request exchange: target was asked (with
+	// the given interest set, staleness horizon and query terms) and this
+	// replica computed offered as the reply. Implementations may fetch the
+	// same reply from target's owning daemon and compare. The offered
+	// snapshots' filters are immutable and safe to retain for the call's
+	// duration only.
+	ServeAds(requester, target overlay.NodeID, interests content.ClassSet, staleBefore sim.Clock, terms []content.Keyword, offered []AdServed)
+}
+
+// AdServed is one ad as it crosses the seam: the snapshot identity plus
+// its immutable filter. FullWire/PatchWire mirror the snapshot's wire
+// sizing so a verifier can check encoded lengths without re-deriving them.
+type AdServed struct {
+	Src       overlay.NodeID
+	Version   uint16
+	Topics    content.ClassSet
+	Filter    *bloom.Filter
+	FullWire  int
+	PatchWire int
+}
+
+// AdObserver sees every ad publication the moment its snapshot is
+// installed (warm-up, content changes, joins, hierarchical reconciles).
+// filter is the published snapshot's immutable filter; patch is non-nil
+// when the publication produced a patch from the previous version — it
+// aliases the scheme's pooled diff buffer and MUST be consumed (encoded or
+// copied) before the observer returns. The observer runs on the runner
+// thread inside the publication's apply section; it must not call back
+// into the scheme.
+type AdObserver func(src overlay.NodeID, version uint16, topics content.ClassSet, filter *bloom.Filter, patch *bloom.Patch)
+
+// SetPeering installs the transport seam; nil (the default) keeps every
+// exchange local. Set before Attach and never change it mid-run.
+func (s *Scheme) SetPeering(p Peering) { s.peering = p }
+
+// SetAdObserver installs the publication hook; nil (the default) disables
+// it. Set before Attach — warm-up publications fire it too.
+func (s *Scheme) SetAdObserver(fn AdObserver) { s.adObs = fn }
+
+// ConfirmWire answers a content confirmation against this replica: is src
+// alive, and do its group contents match every term. Read-only; safe from
+// connection goroutines during a query batch.
+func (s *Scheme) ConfirmWire(src overlay.NodeID, terms []content.Keyword) (alive, match bool) {
+	if !s.sys.G.Alive(src) {
+		return false, false
+	}
+	return true, s.groupMatches(src, terms)
+}
+
+// ServeAdsWire computes the ads target would serve requester — the exact
+// search-time selection adsRequest makes, in the same (insertion) order —
+// from this replica's state. Safe from connection goroutines during a
+// query batch: it locks target's state like any in-process neighbour
+// serve, and mutates nothing.
+func (s *Scheme) ServeAdsWire(requester, target overlay.NodeID, interests content.ClassSet, staleBefore sim.Clock, terms []content.Keyword) []AdServed {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	for _, term := range terms {
+		sc.keys = append(sc.keys, uint64(term))
+	}
+	sc.probes = bloom.AppendKeyProbes(sc.probes, sc.keys)
+	sc.qa.reset(&s.slots, sc.probes)
+
+	q := &s.nodes[target]
+	q.mu.Lock()
+	s.checkStable()
+	serve := sc.serve[:0]
+	if pub := q.published; pub != nil && s.cfg.MaxAdsPerReply > 0 &&
+		pub.src != requester && pub.topics.Intersects(interests) && sc.qa.matches(pub) {
+		serve = append(serve, pub)
+	}
+	serve = q.serveAds(&sc.qa, serve, interests, staleBefore, requester, s.cfg.MaxAdsPerReply)
+	q.mu.Unlock()
+	sc.serve = serve
+	return appendServed(nil, serve)
+}
+
+// PublishedAd returns node n's current published ad, and whether one
+// exists. Runner thread only (between query batches) — daemons verify
+// replicated publications against it at step barriers.
+func (s *Scheme) PublishedAd(n overlay.NodeID) (AdServed, bool) {
+	snap := s.nodes[n].published
+	if snap == nil {
+		return AdServed{}, false
+	}
+	return servedOf(snap), true
+}
+
+func servedOf(snap *adSnapshot) AdServed {
+	return AdServed{
+		Src:       snap.src,
+		Version:   snap.version,
+		Topics:    snap.topics,
+		Filter:    snap.filter,
+		FullWire:  snap.fullWire,
+		PatchWire: snap.patchWire,
+	}
+}
+
+func appendServed(out []AdServed, snaps []*adSnapshot) []AdServed {
+	for _, snap := range snaps {
+		out = append(out, servedOf(snap))
+	}
+	return out
+}

@@ -145,7 +145,7 @@ func (s *Scheme) Search(ev *trace.Event) metrics.SearchResult {
 
 	// Phase 2: pull ads from the h-hop neighbourhood and retry.
 	tPhase2 := s.obs.Begin()
-	more, b2 := s.adsRequest(t0, p, sc, sc.probes)
+	more, b2 := s.adsRequest(t0, p, sc, sc.probes, ev.Terms)
 	bytes += b2
 	fresh := more[:0]
 	for _, c := range more {
@@ -213,6 +213,17 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 	positives := 0
 	for _, c := range cands {
 		confirmed[c.src] = true
+		// Both confirmation verdicts are constant for the query's duration:
+		// liveness only changes at state events, which the runner never
+		// interleaves with searches, and groupMatches is a pure read. Hoisting
+		// them out of the retry loop changes nothing observable and gives the
+		// peering seam a single point to resolve the whole contact — one
+		// exchange per candidate, whatever the retry schedule does.
+		alive := s.sys.G.Alive(c.src)
+		match := alive && s.groupMatches(c.src, terms)
+		if s.peering != nil {
+			alive, match = s.peering.Confirm(p, c.src, terms, alive, match)
+		}
 		cb := sim.ConfirmBytes(len(terms))
 		sendAt := c.avail
 		answered := false
@@ -226,7 +237,7 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 			if !s.sys.Deliver(sendAt, metrics.MConfirm, cb, p, c.src, sc.fkey, sc.nextSeq()) {
 				continue // request lost in transit
 			}
-			if !s.sys.G.Alive(c.src) {
+			if !alive {
 				continue // source departed: no reply will ever come
 			}
 			rb := sim.ConfirmReplyBytes()
@@ -251,7 +262,7 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 			ns.mu.Unlock()
 			continue
 		}
-		if !s.groupMatches(c.src, terms) {
+		if !match {
 			s.obs.Count(sendAt, obs.CConfirmNeg)
 			continue // false positive or stale index: negative reply
 		}
@@ -284,7 +295,7 @@ func (s *Scheme) confirmRound(p overlay.NodeID, terms []content.Keyword, cands [
 // network "not one reply arrived" is the requester's retry signal: the
 // whole request flood is re-issued (with fresh per-copy drop decisions)
 // up to RetryAttempts times before the phase is abandoned.
-func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, probes []bloom.Probe) ([]candidate, int64) {
+func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, probes []bloom.Probe, terms []content.Keyword) ([]candidate, int64) {
 	interests := s.groupInterests(p)
 	attempts := s.contactAttempts()
 	var bytes int64
@@ -332,6 +343,12 @@ func (s *Scheme) adsRequest(t sim.Clock, p overlay.NodeID, sc *searchScratch, pr
 			serve = q.serveAds(qa, serve, interests, staleBefore, p, s.cfg.MaxAdsPerReply)
 			q.mu.Unlock()
 			sc.serve = serve
+			if s.peering != nil && probes != nil {
+				// The seam sees the serve AFTER the lock is released: snapshots
+				// are immutable, so the projection needs no lock, and the
+				// peering implementation is free to do network I/O.
+				s.peering.ServeAds(p, tg.node, interests, staleBefore, terms, appendServed(nil, serve))
+			}
 			payload := 0
 			for _, snap := range serve {
 				payload += sim.AdHeaderBytes + snap.fullWire

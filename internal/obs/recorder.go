@@ -33,6 +33,14 @@ const (
 	CSearch
 	// CSearchOK counts query events that returned at least one result.
 	CSearchOK
+	// CNetFrameOut / CNetFrameIn count transport frames a node daemon
+	// exchanged with its peers (internal/transport); CNetByteOut /
+	// CNetByteIn total their sizes in bytes, length prefix included.
+	// In-process replays never touch them.
+	CNetFrameOut
+	CNetFrameIn
+	CNetByteOut
+	CNetByteIn
 
 	// cMsgBase is where the metrics.NumMsgClasses per-class message
 	// counters start; they count message copies sent, per class.
@@ -63,6 +71,14 @@ func (c Counter) String() string {
 		return "searches"
 	case CSearchOK:
 		return "successes"
+	case CNetFrameOut:
+		return "net_frames_out"
+	case CNetFrameIn:
+		return "net_frames_in"
+	case CNetByteOut:
+		return "net_bytes_out"
+	case CNetByteIn:
+		return "net_bytes_in"
 	}
 	if c >= cMsgBase && int(c) < NumCounters {
 		return "msgs_" + metrics.MsgClass(int(c)-int(cMsgBase)).String()
@@ -134,6 +150,16 @@ func (r *Recorder) Count(tMS int64, c Counter) {
 		return
 	}
 	atomic.AddInt64(&r.cells[r.row(tMS)*NumCounters+int(c)], 1)
+}
+
+// CountN records n events of counter c at tMS in one cell update — the
+// per-connection transport counters batch a frame and its byte size
+// through this.
+func (r *Recorder) CountN(tMS int64, c Counter, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	atomic.AddInt64(&r.cells[r.row(tMS)*NumCounters+int(c)], n)
 }
 
 // CountMsg records one sent message copy of the given class at tMS.

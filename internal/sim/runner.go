@@ -83,19 +83,15 @@ type RunOptions struct {
 }
 
 // Run replays the system's trace against the scheme and summarises the
-// paper's metrics for it.
+// paper's metrics for it. The sequential stepping core lives in Stepper
+// (stepper.go); Run layers the query-batch execution strategy on top —
+// worker fan-out or the sharded dispatcher — and stays byte-identical to
+// driving the Stepper alone at Workers=1.
 func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rec := sys.Obs()
-	tAttach := rec.Begin()
-	sch.Attach(sys)
-	rec.End(obs.PAttach, tAttach)
-	rec.SampleHeap()
-	tReplay := rec.Begin()
-
 	var dispatcher *shardDispatcher
 	if shards := opts.Shards; shards != 0 {
 		if shards < 0 {
@@ -103,98 +99,17 @@ func Run(sys *System, sch Scheme, opts RunOptions) metrics.Summary {
 		}
 		dispatcher = newShardDispatcher(sch, sys.NumNodes(), shards)
 	}
-	stats := &metrics.SearchStats{}
-	var batch []*trace.Event
-	flush := func() {
-		if len(batch) == 0 {
-			return
-		}
+
+	st := NewStepper(sys, sch, opts.MaxBatch)
+	rec := sys.Obs()
+	for batch := st.NextBatch(); batch != nil; batch = st.NextBatch() {
 		if dispatcher != nil {
-			dispatcher.runBatch(batch, stats, rec)
+			dispatcher.runBatch(batch, st.stats, rec)
 		} else {
-			runBatch(batch, sch, stats, workers, rec)
-		}
-		batch = batch[:0]
-	}
-
-	// Hoisted out of the per-event loop: the next tick boundary (so the
-	// common in-second query path is one comparison, not a multiply), the
-	// optional interface assertions, and the batch-notification buffers.
-	curSec := 0
-	nextTick := Clock(1000)
-	sys.Load.SetLive(0, sys.G.LiveCount())
-	advance := func(t Clock) {
-		for nextTick <= t {
-			curSec++
-			sys.Load.SetLive(curSec, sys.G.LiveCount())
-			sch.Tick(int64(curSec) * 1000)
-			nextTick += 1000
-			// One heap high-water sample per simulated second: free when no
-			// gauge is attached, dense enough to catch the replay peak.
-			rec.SampleHeap()
+			runBatch(batch, sch, st.stats, workers, rec)
 		}
 	}
-	leaver, hasLeaver := sch.(GracefulLeaver)
-	batcher, hasBatcher := sch.(ContentBatcher)
-	var runDocs []content.DocID
-	var runAdded []bool
-
-	evs := sys.Tr.Events
-	for i := 0; i < len(evs); i++ {
-		ev := &evs[i]
-		if ev.Kind == trace.Query {
-			// Ticks may mutate scheme state; drain the batch before
-			// crossing a second boundary.
-			if nextTick <= ev.Time {
-				flush()
-				advance(ev.Time)
-			}
-			batch = append(batch, ev)
-			if opts.MaxBatch > 0 && len(batch) >= opts.MaxBatch {
-				flush()
-			}
-			continue
-		}
-		flush()
-		advance(ev.Time)
-		if hasBatcher && (ev.Kind == trace.ContentAdd || ev.Kind == trace.ContentRemove) {
-			if run := trace.ContentRun(evs, i); run > 1 {
-				// Coalesce the run: apply every system mutation, then
-				// notify the scheme once at the run's last event time.
-				runDocs, runAdded = runDocs[:0], runAdded[:0]
-				for j := i; j < i+run; j++ {
-					e := &evs[j]
-					sys.ApplyEvent(e)
-					runDocs = append(runDocs, e.Doc)
-					runAdded = append(runAdded, e.Kind == trace.ContentAdd)
-				}
-				batcher.ContentChangedBatch(evs[i+run-1].Time, ev.Node, runDocs, runAdded)
-				i += run - 1
-				continue
-			}
-		}
-		if ev.Kind == trace.Leave && hasLeaver {
-			leaver.NodeLeaving(ev.Time, ev.Node)
-		}
-		sys.ApplyEvent(ev)
-		switch ev.Kind {
-		case trace.ContentAdd:
-			sch.ContentChanged(ev.Time, ev.Node, ev.Doc, true)
-		case trace.ContentRemove:
-			sch.ContentChanged(ev.Time, ev.Node, ev.Doc, false)
-		case trace.Join:
-			sch.NodeJoined(ev.Time, ev.Node)
-		case trace.Leave:
-			sch.NodeLeft(ev.Time, ev.Node)
-		}
-	}
-	flush()
-	// Fill the remaining seconds so the load series covers the full span.
-	advance(int64(sys.Load.Seconds()) * 1000)
-	rec.SampleHeap()
-	rec.End(obs.PReplay, tReplay)
-
-	return metrics.Summarize(sch.Name(), sys.G.Kind().String(), stats, sys.Load, sch.LoadMask())
+	return st.Finish()
 }
 
 // runBatch fans a query batch across workers. Search outcomes land on the

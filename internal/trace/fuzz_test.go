@@ -63,6 +63,40 @@ func FuzzTraceDecode(f *testing.F) {
 	})
 }
 
+// FuzzTraceDecodeJSON is the JSON-path twin of FuzzTraceDecode: arbitrary
+// bytes must never panic or over-allocate, and any accepted trace must
+// round-trip through EncodeJSON/DecodeJSON.
+func FuzzTraceDecodeJSON(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedTrace().EncodeJSON(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(`{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":-1}`))
+	f.Add([]byte(`{"format":"asap-trace-jsonl-1","peers":[],"initial_live":0,"events":9}`))
+	f.Add([]byte(`{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":1}` + "\n" +
+		`{"t":-4,"kind":"query","node":0}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var buf bytes.Buffer
+		if err := tr.EncodeJSON(&buf); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding re-encoded trace: %v", err)
+		}
+		if len(tr2.Peers) != len(tr.Peers) || tr2.InitialLive != tr.InitialLive || !reflect.DeepEqual(tr.Events, tr2.Events) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", tr2, tr)
+		}
+	})
+}
+
 // TestDecodeRejectsHostileHeaders pins the specific header shapes the
 // decoder must reject cheaply (they previously sized allocations straight
 // from the header).

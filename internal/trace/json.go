@@ -57,10 +57,29 @@ func DecodeJSON(r io.Reader) (*Trace, error) {
 	if hdr.Format != jsonFormat {
 		return nil, fmt.Errorf("trace: unknown JSON format %q", hdr.Format)
 	}
+	// The same hostile-header rejections as the binary codec: bound every
+	// count before it sizes an allocation or a loop, and refuse shapes no
+	// encoder produces (events without peers, negative ids).
+	if len(hdr.Peers) > 1<<28 {
+		return nil, fmt.Errorf("trace: peer count %d exceeds limit %d", len(hdr.Peers), 1<<28)
+	}
+	for i, p := range hdr.Peers {
+		if p < 0 {
+			return nil, fmt.Errorf("trace: negative peer id %d at index %d", p, i)
+		}
+	}
 	if hdr.InitialLive < 0 || hdr.InitialLive > len(hdr.Peers) {
 		return nil, fmt.Errorf("trace: initial_live %d out of range", hdr.InitialLive)
 	}
-	tr := &Trace{Peers: hdr.Peers, InitialLive: hdr.InitialLive, Events: make([]Event, 0, hdr.Events)}
+	if hdr.Events < 0 || hdr.Events > 1<<30 {
+		return nil, fmt.Errorf("trace: event count %d exceeds limit %d", hdr.Events, 1<<30)
+	}
+	if hdr.Events > 0 && len(hdr.Peers) == 0 {
+		return nil, fmt.Errorf("trace: %d events but no peers", hdr.Events)
+	}
+	// Cap the up-front allocation like the binary decoder: the count is
+	// untrusted until the events actually parse.
+	tr := &Trace{Peers: hdr.Peers, InitialLive: hdr.InitialLive, Events: make([]Event, 0, min(hdr.Events, 4096))}
 	prev := int64(0)
 	for i := 0; ; i++ {
 		var je jsonEvent
@@ -73,12 +92,26 @@ func DecodeJSON(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: event %d: %w", i, err)
 		}
+		if je.T < 0 {
+			return nil, fmt.Errorf("trace: event %d: negative time %d", i, je.T)
+		}
 		if je.T < prev {
 			return nil, fmt.Errorf("trace: event %d out of order", i)
 		}
 		prev = je.T
 		if int(je.Node) < 0 || int(je.Node) >= len(hdr.Peers) {
 			return nil, fmt.Errorf("trace: event %d: node %d out of range", i, je.Node)
+		}
+		if uint64(je.Doc) > 1<<31 {
+			return nil, fmt.Errorf("trace: event %d: doc %d exceeds limit %d", i, je.Doc, 1<<31)
+		}
+		if len(je.Terms) > 64 {
+			return nil, fmt.Errorf("trace: event %d: term count %d exceeds limit 64", i, len(je.Terms))
+		}
+		for _, term := range je.Terms {
+			if uint64(term) > 1<<31 {
+				return nil, fmt.Errorf("trace: event %d: term %d exceeds limit %d", i, term, 1<<31)
+			}
 		}
 		tr.Events = append(tr.Events, Event{Time: je.T, Kind: kind, Node: je.Node, Doc: je.Doc, Terms: je.Terms})
 	}

@@ -50,6 +50,18 @@ func TestDecodeJSONErrors(t *testing.T) {
 		"bad node":      `{"format":"asap-trace-jsonl-1","peers":[1,2],"initial_live":1,"events":1}` + "\n" + `{"t":1,"kind":"query","node":9}`,
 		"out of order":  `{"format":"asap-trace-jsonl-1","peers":[1,2],"initial_live":1,"events":2}` + "\n" + `{"t":5,"kind":"query","node":0}` + "\n" + `{"t":1,"kind":"query","node":0}`,
 		"count too low": `{"format":"asap-trace-jsonl-1","peers":[1,2],"initial_live":1,"events":3}` + "\n" + `{"t":1,"kind":"query","node":0}`,
+		// Hostile headers the binary codec already rejects — parity pins.
+		// A negative event count previously panicked in make([]Event, 0, n);
+		// a huge one sized a giant allocation straight from the header.
+		"negative event count": `{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":-1}`,
+		"huge event count":     `{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":1099511627776}`,
+		"events without peers": `{"format":"asap-trace-jsonl-1","peers":[],"initial_live":0,"events":3}`,
+		"negative peer id":     `{"format":"asap-trace-jsonl-1","peers":[-7],"initial_live":0,"events":0}`,
+		"negative time":        `{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":1}` + "\n" + `{"t":-4,"kind":"query","node":0}`,
+		"doc overflow":         `{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":1}` + "\n" + `{"t":1,"kind":"content-add","node":0,"doc":4294967295}`,
+		"term overflow":        `{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":1}` + "\n" + `{"t":1,"kind":"query","node":0,"terms":[4294967295]}`,
+		"too many terms": `{"format":"asap-trace-jsonl-1","peers":[1],"initial_live":1,"events":1}` + "\n" +
+			`{"t":1,"kind":"query","node":0,"terms":[` + strings.Repeat("1,", 64) + `1]}`,
 	}
 	for name, data := range cases {
 		if _, err := DecodeJSON(strings.NewReader(data)); err == nil {

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestAdMsgRoundTrip(t *testing.T) {
+	cases := []AdMsg{
+		{Src: 0, Version: 0, Topics: 0, Kind: 0, Full: []byte{1}},
+		{Src: 440, Version: 65535, Topics: 0x3fff, Kind: 1, Full: bytes.Repeat([]byte{7}, 64), Patch: []byte{1, 2, 3}},
+		{Src: 1<<31 - 1, Version: 1, Topics: 1, Kind: 0, Full: nil},
+	}
+	for i, m := range cases {
+		enc := m.Encode(nil)
+		got, err := DecodeAd(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// An empty filter may decode as a non-nil empty slice; compare values.
+		if len(m.Full) == 0 {
+			m.Full = nil
+		}
+		if len(got.Full) == 0 {
+			got.Full = nil
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, m)
+		}
+		if _, err := DecodeAd(append(enc, 0)); err == nil {
+			t.Fatalf("case %d: trailing byte accepted", i)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := DecodeAd(enc[:cut]); err == nil {
+				t.Fatalf("case %d: truncation at %d accepted", i, cut)
+			}
+		}
+	}
+}
+
+func TestConfirmReqRoundTrip(t *testing.T) {
+	r := ConfirmReq{Src: 123, Terms: []uint32{5, 0, 1 << 30}}
+	enc := r.Encode(nil)
+	got, err := DecodeConfirmReq(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip %+v != %+v", got, r)
+	}
+	if _, err := DecodeConfirmReq(append(enc, 9)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeConfirmReq(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestAdsReqRoundTrip(t *testing.T) {
+	cases := []AdsReq{
+		{Target: 1, Requester: 2, Interests: 0x00ff, StaleBefore: -1, Max: 10, Terms: []uint32{9, 9, 9}},
+		{Target: 0, Requester: 0, Interests: 0, StaleBefore: 1 << 40, Max: 0, Terms: nil},
+	}
+	for i, r := range cases {
+		enc := r.Encode(nil)
+		got, err := DecodeAdsReq(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(r.Terms) == 0 {
+			r.Terms = got.Terms // both empty; DeepEqual cares about nil-ness
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, r)
+		}
+		if _, err := DecodeAdsReq(append(enc, 1)); err == nil {
+			t.Fatalf("case %d: trailing byte accepted", i)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := DecodeAdsReq(enc[:cut]); err == nil {
+				t.Fatalf("case %d: truncation at %d accepted", i, cut)
+			}
+		}
+	}
+}
+
+func TestAdsReplyRoundTrip(t *testing.T) {
+	offers := []AdOffer{
+		{Src: 5, Version: 2, Topics: 0x0101, Filter: []byte{1, 2, 3, 4}},
+		{Src: 7, Version: 65534, Topics: 1, Filter: bytes.Repeat([]byte{0xaa}, 128)},
+	}
+	enc := EncodeAdsReply(nil, offers)
+	got, err := DecodeAdsReply(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, offers) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, offers)
+	}
+	if _, err := DecodeAdsReply(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeAdsReply(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	empty, err := DecodeAdsReply(EncodeAdsReply(nil, nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty reply round trip = (%v, %v)", empty, err)
+	}
+}
+
+func TestDecodeHostileHeaders(t *testing.T) {
+	// Declared counts and lengths far beyond the payload must be rejected
+	// before allocation, exactly like the trace codec's hostile headers.
+	hostile := [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0x7f},       // uvarint near 2^35 as a src
+		{0x01, 0x00, 0x00, 0xff, 0xff, 0x03}, // huge filter length
+	}
+	for i, p := range hostile {
+		if _, err := DecodeAd(p); err == nil {
+			t.Errorf("hostile ad %d accepted", i)
+		}
+		if _, err := DecodeAdsReply(p); err == nil {
+			t.Errorf("hostile ads reply %d accepted", i)
+		}
+	}
+}
