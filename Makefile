@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate shard-smoke mem-gate net-smoke profile check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate shard-smoke mem-gate net-smoke scenario-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -106,6 +106,14 @@ mem-gate:
 net-smoke:
 	$(GO) test -race -count=1 ./internal/transport ./internal/cluster
 
+# Adversarial-scenario gate under the race detector: every built-in
+# scenario (partitions, flash crowds, churn storms, free riders, interest
+# drift, rewiring) replays byte-identically across shard counts and must
+# match its pinned golden summary + series hash. Regenerate goldens
+# deliberately with `go test ./internal/scenario -run TestGoldenReplay -update`.
+scenario-smoke:
+	$(GO) test -race -count=1 ./internal/scenario
+
 # Profile a small-scale matrix run; inspect with `go tool pprof out/cpu.pb`.
 profile:
 	mkdir -p out
@@ -113,4 +121,4 @@ profile:
 		-cpuprofile out/cpu.pb -memprofile out/mem.pb -mutexprofile out/mutex.pb
 	@echo "profiles written to out/{cpu,mem,mutex}.pb"
 
-check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate shard-smoke mem-gate net-smoke fuzz-smoke
+check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate shard-smoke mem-gate net-smoke scenario-smoke fuzz-smoke

@@ -5,14 +5,20 @@
 // Usage:
 //
 //	asapsim [-scale full|small|tiny|mega] [-scheme name] [-topo name]
-//	        [-trace file] [-workers n] [-shards n] [-seed n] [-series]
-//	        [-seriesdir dir] [-cpuprofile path] [-memprofile path]
-//	        [-mutexprofile path] [-pprof addr]
+//	        [-trace file] [-scenario name|file] [-workers n] [-shards n]
+//	        [-seed n] [-series] [-seriesdir dir] [-cpuprofile path]
+//	        [-memprofile path] [-mutexprofile path] [-pprof addr]
 //
 // With -trace, the query/churn trace is loaded from a file produced by
 // tracegen instead of being regenerated (the content universe is still
 // derived from the scale preset, which must match the one used at
 // generation time).
+//
+// With -scenario, a registered adversarial scenario (or a scenario JSON
+// file) is staged and replayed instead: the scenario carries its own
+// scale, scheme, topology, seed and loss, so those flags are ignored;
+// -shards still selects the parallel sharded replay (outputs are
+// byte-identical at every shard count).
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"asap/internal/metrics"
 	"asap/internal/obs"
 	"asap/internal/overlay"
+	"asap/internal/scenario"
 	"asap/internal/sim"
 	"asap/internal/trace"
 )
@@ -37,6 +44,7 @@ func main() {
 		scheme    = flag.String("scheme", "asap-rw", "search scheme (flooding, random-walk, gsa, asap-fld, asap-rw, asap-gsa)")
 		topo      = flag.String("topo", "crawled", "overlay topology (random, powerlaw, crawled)")
 		traceFile = flag.String("trace", "", "replay a trace file from tracegen instead of regenerating")
+		scenArg   = flag.String("scenario", "", "replay an adversarial scenario by registry name or JSON file (overrides -scale/-scheme/-topo/-seed); names: "+strings.Join(scenario.Names(), ", "))
 		workers   = flag.Int("workers", 0, "query replay workers (0 = GOMAXPROCS); sharded replay ignores this")
 		shards    = flag.Int("shards", 0, "replay shards: 0 = unsharded, <0 = auto (GOMAXPROCS); outputs are byte-identical at every count (unset: the preset's own default)")
 		seed      = flag.Uint64("seed", 1, "master seed")
@@ -56,7 +64,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asapsim:", err)
 		os.Exit(1)
 	}
-	err = run(*scaleName, *scheme, *topo, *traceFile, *workers, shardsOverride, *seed, *series, *seriesDir)
+	if *scenArg != "" {
+		err = runScenario(*scenArg, *workers, shardsOverride, *series, *seriesDir)
+	} else {
+		err = run(*scaleName, *scheme, *topo, *traceFile, *workers, shardsOverride, *seed, *series, *seriesDir)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -123,6 +135,55 @@ func run(scaleName, scheme, topoName, traceFile string, workers, shardsOverride 
 		fmt.Fprintf(os.Stderr, "wrote %d series files to %s\n", len(files), seriesDir)
 	}
 
+	printSummary(sum, series)
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+// runScenario stages and replays one adversarial scenario, printing the
+// standard summary block plus the scenario's act counters.
+func runScenario(arg string, workers, shardsOverride int, series bool, seriesDir string) error {
+	sn, err := scenario.Resolve(arg)
+	if err != nil {
+		return err
+	}
+	opt := scenario.Options{Workers: workers}
+	cliutil.ApplyInt(shardsOverride, &opt.Shards)
+	start := time.Now()
+	res, err := scenario.Run(sn, opt)
+	if err != nil {
+		return err
+	}
+	if seriesDir != "" {
+		files, err := obs.WriteDir(seriesDir, []obs.RunSeries{res.Series})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d series files to %s\n", len(files), seriesDir)
+	}
+	fmt.Printf("scenario:          %s\n", sn.Name)
+	if sn.Doc != "" {
+		fmt.Printf("                   %s\n", sn.Doc)
+	}
+	printSummary(res.Summary, series)
+	sumCol := func(col string) int64 {
+		i := res.Series.ColumnIndex(col)
+		if i < 0 {
+			return 0
+		}
+		total := res.Series.Warmup[i]
+		for _, row := range res.Series.Rows {
+			total += row[i]
+		}
+		return total
+	}
+	fmt.Printf("act counters:      part_drops=%d rewires=%d interest_shifts=%d\n",
+		sumCol(obs.CPartDrop.String()), sumCol(obs.CRewire.String()), sumCol(obs.CInterestShift.String()))
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+func printSummary(sum metrics.Summary, series bool) {
 	fmt.Printf("scheme:            %s\n", sum.Scheme)
 	fmt.Printf("topology:          %s\n", sum.Topology)
 	fmt.Printf("requests:          %d\n", sum.Requests)
@@ -144,6 +205,4 @@ func run(scaleName, scheme, topoName, traceFile string, workers, shardsOverride 
 			fmt.Printf("%d %.4f\n", i, v)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
-	return nil
 }

@@ -6,8 +6,9 @@
 //	experiments [-scale full|small|tiny|mega] [-figure all|2|3|...|10|claims]
 //	            [-schemes csv] [-topos csv] [-workers n] [-matrixworkers n]
 //	            [-shards n] [-seed n] [-loss rate] [-quiet] [-benchjson path]
-//	            [-scalerun preset] [-series dir] [-cpuprofile path]
-//	            [-memprofile path] [-mutexprofile path] [-pprof addr]
+//	            [-scalerun preset] [-scenario csv] [-series dir]
+//	            [-cpuprofile path] [-memprofile path] [-mutexprofile path]
+//	            [-pprof addr]
 //
 // Examples:
 //
@@ -16,6 +17,8 @@
 //	experiments -scale small -figure claims  # headline-claim checks
 //	experiments -scale small -loss 0.02      # the matrix on a 2%-lossy network
 //	experiments -scale tiny -figure loss     # loss sweep: 0/1/2/5% message loss
+//	experiments -figure scenario             # every adversarial scenario (see internal/scenario)
+//	experiments -scenario partition-heal     # one scenario (registry name or JSON file)
 //	experiments -shards 4 -scale small       # sharded replay (same outputs, any count)
 //	experiments -benchjson BENCH_matrix.json # perf record: baseline vs parallel vs sharded
 //	experiments -scalerun full               # record the paper-scale matrix wall+heap
@@ -52,6 +55,7 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		benchJSON = flag.String("benchjson", "", "write a matrix perf record (baseline vs parallel vs sharded) to this path and exit")
 		scaleRun  = flag.String("scalerun", "", "replay this preset end to end and merge its wall-time/peak-heap record into the scale_runs block of -benchjson's path (default BENCH_matrix.json); mega also records shard scaling")
+		scenCSV   = flag.String("scenario", "", "comma-separated adversarial scenarios (registry names or JSON files) to replay; implies -figure scenario")
 		seriesDir = flag.String("series", "", "write each run's per-second observability series (CSV+JSON) into this directory")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
@@ -78,6 +82,8 @@ func main() {
 			path = "BENCH_matrix.json"
 		}
 		err = runScaleRun(*scaleRun, *seed, *matrixW, shardsOverride, path, *quiet)
+	case *figure == "scenario" || *scenCSV != "":
+		err = runScenarioSweep(*scenCSV, *seriesDir, shardsOverride, *benchJSON, *quiet)
 	case *benchJSON != "":
 		err = runBenchJSON(*scaleName, *seed, *matrixW, *benchJSON, *quiet)
 	case *figure == "seeds":

@@ -15,6 +15,7 @@ import (
 	"asap/internal/metrics"
 	"asap/internal/obs"
 	"asap/internal/overlay"
+	"asap/internal/scenario"
 	"asap/internal/sim"
 	"asap/internal/trace"
 	"asap/internal/transport"
@@ -200,12 +201,39 @@ func (e *Engine) fail(err error) {
 // SimBaseline so daemon replicas and the in-memory reference run are the
 // same by construction.
 func buildReplica(h HelloMsg) (*experiments.Lab, *sim.System, sim.Scheme, error) {
+	var sn scenario.Scenario
+	if h.Scenario != "" {
+		var err error
+		sn, err = scenario.ByName(h.Scenario)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// The scenario is authoritative for its run shape: unset hello
+		// fields inherit from it, contradictions are rejected, so replicas
+		// can never stage the same scenario over different runs.
+		if h.Scale == "" {
+			h.Scale = sn.Scale
+		}
+		if h.Scheme == "" {
+			h.Scheme = sn.Scheme
+		}
+		if h.Topo == "" {
+			h.Topo = sn.Topo
+		}
+		if h.Scale != sn.Scale || h.Scheme != sn.Scheme || h.Topo != sn.Topo {
+			return nil, nil, nil, fmt.Errorf("hello %s/%s/%s contradicts scenario %s (%s/%s/%s)",
+				h.Scale, h.Scheme, h.Topo, sn.Name, sn.Scale, sn.Scheme, sn.Topo)
+		}
+		if h.Loss == 0 {
+			h.Loss = sn.Loss
+		}
+	}
 	sc, err := experiments.ByName(h.Scale)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	sc.Seed = h.Seed
-	if h.Loss > 0 {
+	if h.Scenario == "" && h.Loss > 0 {
 		sc.LossRate = h.Loss
 	}
 	kind, err := parseKind(h.Topo)
@@ -216,8 +244,20 @@ func buildReplica(h HelloMsg) (*experiments.Lab, *sim.System, sim.Scheme, error)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	var st *scenario.Staged
+	if h.Scenario != "" {
+		sn.Seed = h.Seed
+		sn.Loss = h.Loss
+		if st, err = scenario.Stage(sn, lab); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	sys := sim.NewSystem(lab.U, lab.Tr, kind, lab.Net, sc.Seed)
-	if sc.LossRate > 0 {
+	if st != nil {
+		// The staged Install owns the fault plane (loss and partitions)
+		// and the act director; sc.LossRate stayed 0 above.
+		st.Install(sys, h.Seed, h.Loss)
+	} else if sc.LossRate > 0 {
 		sys.SetFaults(faults.New(faults.Config{Seed: sc.Seed, LossRate: sc.LossRate}))
 	}
 	sch, err := lab.NewScheme(h.Scheme)
@@ -692,7 +732,8 @@ func keywords(terms []uint32) []content.Keyword {
 // SimBaseline runs the identical configuration through the in-memory
 // sequential replay — the ground truth the cluster run must equal.
 func SimBaseline(spec Spec) (metrics.Summary, error) {
-	_, sys, sch, err := buildReplica(HelloMsg{Scale: spec.Scale, Scheme: spec.Scheme, Topo: spec.Topo, Seed: spec.Seed, Loss: spec.Loss, Nodes: 1})
+	_, sys, sch, err := buildReplica(HelloMsg{Scale: spec.Scale, Scheme: spec.Scheme, Topo: spec.Topo,
+		Seed: spec.Seed, Loss: spec.Loss, Scenario: spec.Scenario, Nodes: 1})
 	if err != nil {
 		return metrics.Summary{}, err
 	}

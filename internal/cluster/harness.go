@@ -17,6 +17,11 @@ type Spec struct {
 	Topo   string
 	Seed   uint64
 	Loss   float64
+	// Scenario optionally names a registered adversarial scenario
+	// (internal/scenario) staged onto every replica. Scale/Scheme/Topo may
+	// be left empty to inherit the scenario's own run shape; when set they
+	// must agree with it.
+	Scenario string
 }
 
 // NodeConfig describes one daemon to add to a Network.
@@ -163,7 +168,8 @@ func (nw *Network) RunPlan(p Plan) (Result, error) {
 	// Join: configure each replica with its shard placement.
 	for i, c := range nw.ctls {
 		h := HelloMsg{Scale: nw.spec.Scale, Scheme: nw.spec.Scheme, Topo: nw.spec.Topo,
-			Seed: nw.spec.Seed, Loss: nw.spec.Loss, Index: i, Nodes: n}
+			Seed: nw.spec.Seed, Loss: nw.spec.Loss, Scenario: nw.spec.Scenario,
+			Index: i, Nodes: n}
 		if err := c.WriteJSON(transport.MHello, h); err != nil {
 			return Result{}, err
 		}

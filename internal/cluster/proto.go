@@ -51,8 +51,13 @@ type HelloMsg struct {
 	Topo   string  `json:"topo"`
 	Seed   uint64  `json:"seed"`
 	Loss   float64 `json:"loss,omitempty"`
-	Index  int     `json:"index"`
-	Nodes  int     `json:"nodes"`
+	// Scenario names a registered adversarial scenario (internal/scenario)
+	// to stage onto every replica's trace. Only registry names travel on
+	// the wire — never scenario files — so all replicas resolve the same
+	// act list by construction.
+	Scenario string `json:"scenario,omitempty"`
+	Index    int    `json:"index"`
+	Nodes    int    `json:"nodes"`
 }
 
 // HelloOK acknowledges a Hello.

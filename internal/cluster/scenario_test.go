@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+
+	"asap/internal/scenario"
+	"asap/internal/transport"
+)
+
+// TestClusterScenarioPartitionHeal drives the partition-heal adversarial
+// scenario through the lockstep daemon harness: two daemons on in-memory
+// pipes stage the scenario from its wire name, replay the partition and
+// the heal in lockstep, and must produce the exact summary the in-memory
+// sim produces for the same scenario — the socket layer and the scenario
+// engine composing without perturbing each other.
+func TestClusterScenarioPartitionHeal(t *testing.T) {
+	spec := Spec{Seed: 1, Scenario: "partition-heal"}
+	res := runCluster(t, transport.Mem{}, spec, 2, nil)
+	want, err := SimBaseline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSummaryEqual(t, res.Summary, want)
+	if !res.Done || res.Queries == 0 {
+		t.Fatalf("plan consumed done=%v queries=%d, want the full trace", res.Done, res.Queries)
+	}
+	if res.Summary.Drops == 0 {
+		t.Error("the partition dropped nothing in the cluster replay")
+	}
+
+	// Cross-check against the scenario package's own replay of the same
+	// built-in: three independent constructions of one run must agree.
+	sn, err := scenario.ByName("partition-heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := scenario.Run(sn, scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSummaryEqual(t, res.Summary, direct.Summary)
+}
+
+// TestHelloRejectsContradictoryScenario pins the wire-side validation: a
+// hello that names a scenario but contradicts its run shape is refused.
+func TestHelloRejectsContradictoryScenario(t *testing.T) {
+	if _, _, _, err := buildReplica(HelloMsg{
+		Scale: "tiny", Scheme: "flooding", Topo: "random",
+		Seed: 1, Scenario: "partition-heal", Nodes: 1,
+	}); err == nil {
+		t.Error("contradictory scenario hello accepted")
+	}
+	if _, _, _, err := buildReplica(HelloMsg{Seed: 1, Scenario: "no-such", Nodes: 1}); err == nil {
+		t.Error("unknown scenario hello accepted")
+	}
+}

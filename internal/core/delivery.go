@@ -29,6 +29,12 @@ func nextSeq(p *uint32) uint32 {
 // on the wire either way — so ad coverage degrades under loss while ad
 // traffic does not.
 func (s *Scheme) deliver(t sim.Clock, snap *adSnapshot, kind adKind, targeting content.ClassSet) {
+	// Scenario free riders send no ads at all — publishWith already gates
+	// new publications, and this catches refresh deliveries of snapshots
+	// published before the mask engaged.
+	if s.sys.FreeRider(snap.src) {
+		return
+	}
 	// One seqlock section brackets the whole delivery (every applyAd within
 	// it included); searches cannot run concurrently with any of it.
 	s.beginApply()
@@ -127,6 +133,9 @@ func (s *Scheme) deliverFlood(t sim.Clock, snap *adSnapshot, kind adKind, target
 		if it.hop >= s.cfg.FloodTTL {
 			continue
 		}
+		if s.sys.FreeRider(it.node) {
+			continue // free riders receive ads but never forward them
+		}
 		// The eligible view is pre-filtered: no per-edge Alive or
 		// cacheEligible test on the flood's inner loop.
 		view := s.eligibleView(it.node)
@@ -192,6 +201,9 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 		for _, start := range starts {
 			sent++
 			s.applyAd(t, start, snap, kind, targeting, dkey, dseq)
+			if s.sys.FreeRider(start) {
+				continue // free riders kill walkers: received, never forwarded
+			}
 			cur, prev := start, snap.src
 			for step := 1; step < perWalker; step++ {
 				next := s.pickNextHop(cur, prev, targeting)
@@ -202,6 +214,9 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 				sent++
 				if cur != snap.src {
 					s.applyAd(t, cur, snap, kind, targeting, dkey, dseq)
+				}
+				if s.sys.FreeRider(cur) {
+					break
 				}
 			}
 		}
@@ -216,6 +231,9 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 			continue // seed copy lost: this walker never starts
 		}
 		s.applyAd(t, cur, snap, kind, targeting, dkey, dseq)
+		if s.sys.FreeRider(cur) {
+			continue // free riders kill walkers: received, never forwarded
+		}
 		for step := 1; step < perWalker; step++ {
 			next := s.pickNextHop(cur, prev, targeting)
 			if next < 0 {
@@ -228,6 +246,9 @@ func (s *Scheme) deliverWalk(t sim.Clock, snap *adSnapshot, kind adKind, targeti
 			}
 			if cur != snap.src {
 				s.applyAd(t, cur, snap, kind, targeting, dkey, dseq)
+			}
+			if s.sys.FreeRider(cur) {
+				break
 			}
 		}
 	}

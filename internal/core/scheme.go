@@ -243,6 +243,12 @@ func (s *Scheme) publish(n overlay.NodeID) *adSnapshot {
 // publication loop); prebuilt == nil builds the filter inline.
 func (s *Scheme) publishWith(n overlay.NodeID, prebuilt *bloom.Filter) *adSnapshot {
 	ns := &s.nodes[n]
+	// Scenario free riders publish nothing while masked. The dirty bit is
+	// deliberately left untouched, so content changes accumulated during
+	// the mask republish at the first reconcile after it lifts.
+	if s.sys.FreeRider(n) {
+		return nil
+	}
 	// Flat nodes see every content change as an event, so an unchanged
 	// dirty bit proves the rebuilt filter and topics would equal the
 	// published ones and publish would return nil — skip the rebuild.

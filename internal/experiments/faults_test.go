@@ -109,3 +109,44 @@ func TestLossZeroMatchesNoPlane(t *testing.T) {
 		}
 	}
 }
+
+// TestLossUnchangedByInertPartition pins the faults stream-key audit at
+// the replay level: a 2%-loss run through a plane whose partition seam was
+// exercised (engaged, then healed) before the replay must be byte-identical
+// to the plain 2%-loss run. Partition verdicts are pure group-membership
+// lookups — they consume no hash stream — so an inert partition plane
+// cannot collide with or shift any pre-existing loss stream.
+func TestLossUnchangedByInertPartition(t *testing.T) {
+	sc := ScaleTiny()
+	sc.LossRate = 0.02
+	lab, err := NewLab(sc)
+	if err != nil {
+		t.Fatalf("lab: %v", err)
+	}
+	for _, scheme := range lossySchemes {
+		bare, err := lab.run(scheme, overlay.Crawled, false, 1, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("%s bare: %v", scheme, err)
+		}
+		sch, err := lab.NewScheme(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := lab.topoProto(overlay.Crawled).NewSystem(lab.U, lab.Tr)
+		pl := faults.New(faults.Config{Seed: lab.Scale.Seed, LossRate: 0.02})
+		group := make([]int8, sys.NumNodes())
+		for i := range group {
+			group[i] = int8(i % 2)
+		}
+		pl.SetPartition(group) // engage…
+		pl.SetPartition(nil)   // …and heal before the replay: plane is inert again
+		sys.SetFaults(pl)
+		planed := sim.Run(sys, sch, sim.RunOptions{Workers: 1})
+		if !reflect.DeepEqual(bare, planed) {
+			t.Errorf("%s: inert partition plane changed the 2%%-loss summary:\nbare:   %+v\nplaned: %+v", scheme, bare, planed)
+		}
+		if planed.Drops == 0 {
+			t.Errorf("%s: 2%% loss produced zero drops", scheme)
+		}
+	}
+}

@@ -44,6 +44,16 @@ type Plane struct {
 	loss     float64
 	jitterMS int64
 	graceful bool
+	// group, when non-nil, partitions the overlay: group[n] is node n's
+	// partition group, and messages between different groups are dropped.
+	// Partition membership is a pure table lookup — it consumes no hash
+	// stream and never feeds into Drop's (key, seq, src, dst, class)
+	// hashing, so engaging or healing a partition cannot perturb the
+	// outcome of any loss-stream decision (Drop is stateless: the same
+	// message identity hashes to the same verdict with or without a
+	// partition engaged). Mutated only between replay batches on the
+	// runner goroutine.
+	group []int8
 }
 
 // New builds a plane from cfg. It panics on an out-of-range loss rate —
@@ -73,8 +83,37 @@ func (p *Plane) LossRate() float64 {
 
 // Active reports whether the plane can actually drop messages. Retry
 // machinery keys off this so a zero-loss plane replays byte-identically
-// to no plane at all.
-func (p *Plane) Active() bool { return p != nil && p.loss > 0 }
+// to no plane at all. An engaged partition counts: cross-group messages
+// are dropped, so retry/timeout semantics must be live while it holds.
+func (p *Plane) Active() bool { return p != nil && (p.loss > 0 || p.group != nil) }
+
+// SetPartition installs (or, with nil, heals) a partition grouping.
+// group[n] is node n's partition group; messages whose source and
+// destination land in different groups are dropped unconditionally.
+// The slice is retained, not copied. Callers must serialise SetPartition
+// against message delivery — the scenario director applies it between
+// replay batches on the runner goroutine.
+func (p *Plane) SetPartition(group []int8) { p.group = group }
+
+// PartitionEngaged reports whether a partition grouping is installed.
+func (p *Plane) PartitionEngaged() bool { return p != nil && p.group != nil }
+
+// Partitioned reports whether src and dst are currently in different
+// partition groups. Nodes outside the group table (never the case for
+// groupings sized to the overlay) default to group 0.
+func (p *Plane) Partitioned(src, dst overlay.NodeID) bool {
+	if p == nil || p.group == nil {
+		return false
+	}
+	var gs, gd int8
+	if int(src) < len(p.group) {
+		gs = p.group[src]
+	}
+	if int(dst) < len(p.group) {
+		gd = p.group[dst]
+	}
+	return gs != gd
+}
 
 // GracefulLeave reports whether departing nodes say goodbye.
 func (p *Plane) GracefulLeave() bool { return p != nil && p.graceful }

@@ -141,6 +141,69 @@ func TestKeyDistinguishesEvents(t *testing.T) {
 	}
 }
 
+// TestPartitionMembership pins the partition semantics: cross-group pairs
+// partitioned, same-group pairs not, nil group inert, and Active() lit by
+// an engaged partition even at loss 0 (retry machinery must run).
+func TestPartitionMembership(t *testing.T) {
+	p := New(Config{Seed: 9})
+	if p.PartitionEngaged() || p.Partitioned(0, 5) {
+		t.Error("fresh plane reports a partition")
+	}
+	p.SetPartition([]int8{0, 0, 0, 1, 1, 1})
+	if !p.PartitionEngaged() || !p.Active() {
+		t.Error("engaged partition not reported Active")
+	}
+	if !p.Partitioned(0, 3) || !p.Partitioned(5, 2) {
+		t.Error("cross-group pair not partitioned")
+	}
+	if p.Partitioned(0, 2) || p.Partitioned(3, 5) {
+		t.Error("same-group pair partitioned")
+	}
+	p.SetPartition(nil)
+	if p.PartitionEngaged() || p.Active() || p.Partitioned(0, 3) {
+		t.Error("healed plane still partitioned/active")
+	}
+	var nilPlane *Plane
+	if nilPlane.Partitioned(0, 1) || nilPlane.PartitionEngaged() {
+		t.Error("nil plane reports a partition")
+	}
+}
+
+// TestPartitionDoesNotPerturbDropStreams is the stream-key audit: a
+// partition verdict is a pure membership lookup, so engaging or healing a
+// partition must leave every Drop decision — the loss streams — exactly
+// where it was. Any hash-stream consumption by the partition path would
+// flip some of these.
+func TestPartitionDoesNotPerturbDropStreams(t *testing.T) {
+	p := New(Config{Seed: 21, LossRate: 0.3})
+	type id struct {
+		c        metrics.MsgClass
+		src, dst overlay.NodeID
+		key      uint64
+		seq      uint32
+	}
+	var ids []id
+	var before []bool
+	for key := uint64(0); key < 200; key++ {
+		for seq := uint32(0); seq < 5; seq++ {
+			i := id{metrics.MsgClass(key % 3), overlay.NodeID(key % 7), overlay.NodeID(seq % 5), key, seq}
+			ids = append(ids, i)
+			before = append(before, p.Drop(i.c, i.src, i.dst, i.key, i.seq))
+		}
+	}
+	check := func(phase string) {
+		for k, i := range ids {
+			if p.Drop(i.c, i.src, i.dst, i.key, i.seq) != before[k] {
+				t.Fatalf("%s: drop decision %d changed", phase, k)
+			}
+		}
+	}
+	p.SetPartition([]int8{0, 0, 0, 0, 1, 1, 1})
+	check("partition engaged")
+	p.SetPartition(nil)
+	check("after heal")
+}
+
 func TestNewValidates(t *testing.T) {
 	for _, cfg := range []Config{{LossRate: -0.1}, {LossRate: 1}, {JitterMS: -1}} {
 		func() {

@@ -41,6 +41,15 @@ const (
 	CNetFrameIn
 	CNetByteOut
 	CNetByteIn
+	// CPartDrop counts messages dropped by an engaged scenario partition
+	// (a subset of CDrop: partition drops count in both columns).
+	CPartDrop
+	// CRewire counts successful topology-adaptation rewires (one edge
+	// dropped, one interest-similar edge added).
+	CRewire
+	// CInterestShift counts nodes whose interest classes an InterestDrift
+	// act rotated.
+	CInterestShift
 
 	// cMsgBase is where the metrics.NumMsgClasses per-class message
 	// counters start; they count message copies sent, per class.
@@ -79,6 +88,12 @@ func (c Counter) String() string {
 		return "net_bytes_out"
 	case CNetByteIn:
 		return "net_bytes_in"
+	case CPartDrop:
+		return "part_drops"
+	case CRewire:
+		return "rewires"
+	case CInterestShift:
+		return "interest_shifts"
 	}
 	if c >= cMsgBase && int(c) < NumCounters {
 		return "msgs_" + metrics.MsgClass(int(c)-int(cMsgBase)).String()

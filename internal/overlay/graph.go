@@ -323,6 +323,22 @@ func (g *Graph) AddEdge(a, b NodeID) bool {
 	return true
 }
 
+// RemoveEdge erases an undirected a–b edge and repairs both live views.
+// Missing and self edges are rejected with a false return, as are
+// super-peer parent links — a leaf's uplink is structural and rewiring
+// must not orphan it.
+func (g *Graph) RemoveEdge(a, b NodeID) bool {
+	if a == b || !g.hasEdge(a, b) {
+		return false
+	}
+	if g.parent != nil && (g.parent[a] == b || g.parent[b] == a) {
+		return false
+	}
+	g.removeNeighbor(a, b)
+	g.removeNeighbor(b, a)
+	return true
+}
+
 // setAlive flips liveness bookkeeping and repairs the live views of every
 // neighbour (a node's own views do not depend on its own liveness).
 func (g *Graph) setAlive(v NodeID, up bool) {

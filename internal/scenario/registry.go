@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtins is the registry of named scenarios. Every entry replays on the
+// tiny preset (≈400 nodes, ≈150 simulated seconds) so the whole battery —
+// including the golden and determinism suites — stays fast enough for CI
+// under -race. Act times sit well inside the trace span so each act has
+// both a before and an after window in the series.
+var builtins = []Scenario{
+	{
+		Name:   "partition-heal",
+		Doc:    "overlay splits into two isolated halves at 30s and heals at 75s; searches and ad refreshes cross-partition fail until the heal",
+		Scale:  "tiny",
+		Scheme: "asap-rw",
+		Topo:   "crawled",
+		Seed:   1,
+		Acts: []Act{
+			{AtMS: 30_000, Kind: Partition, Groups: 2},
+			{AtMS: 75_000, Kind: Heal},
+		},
+	},
+	{
+		Name:   "flash-crowd",
+		Doc:    "400 extra queries for the most-queried content class burst in over 10s at t=40s",
+		Scale:  "tiny",
+		Scheme: "asap-rw",
+		Topo:   "crawled",
+		Seed:   1,
+		Acts: []Act{
+			{AtMS: 40_000, Kind: FlashCrowd, Class: -1, Queries: 400, DurationMS: 10_000},
+		},
+	},
+	{
+		Name:   "churn-storm",
+		Doc:    "a quarter of the stable population leaves during 35–45s and rejoins during 45–55s",
+		Scale:  "tiny",
+		Scheme: "asap-fld",
+		Topo:   "random",
+		Seed:   1,
+		Acts: []Act{
+			{AtMS: 35_000, Kind: ChurnStorm, Frac: 0.25, DurationMS: 20_000},
+		},
+	},
+	{
+		Name:   "free-riders",
+		Doc:    "from 20s on, 60% of peers keep querying but stop publishing and forwarding ads",
+		Scale:  "tiny",
+		Scheme: "asap-rw",
+		Topo:   "crawled",
+		Seed:   1,
+		Acts: []Act{
+			{AtMS: 20_000, Kind: FreeRiders, Frac: 0.6},
+		},
+	},
+	{
+		Name:   "interest-drift",
+		Doc:    "half the peers rotate their interest classes by 3 at 30s and again at 80s; cached ads go stale against the drifted interests",
+		Scale:  "tiny",
+		Scheme: "asap-rw",
+		Topo:   "crawled",
+		Seed:   1,
+		Acts: []Act{
+			{AtMS: 30_000, Kind: InterestDrift, Frac: 0.5, Shift: 3},
+			{AtMS: 80_000, Kind: InterestDrift, Frac: 0.5, Shift: 3},
+		},
+	},
+	{
+		Name:   "rewire",
+		Doc:    "topology adaptation: 120 interest-similarity rewires at 30s and again at 60s (arXiv:2012.13146)",
+		Scale:  "tiny",
+		Scheme: "asap-gsa",
+		Topo:   "powerlaw",
+		Seed:   1,
+		Acts: []Act{
+			{AtMS: 30_000, Kind: Rewire, Rewires: 120},
+			{AtMS: 60_000, Kind: Rewire, Rewires: 120},
+		},
+	},
+	{
+		Name:   "perfect-storm",
+		Doc:    "everything at once on a 1%-lossy network: partition, flash crowd inside it, heal, churn storm, then a free-rider majority",
+		Scale:  "tiny",
+		Scheme: "asap-rw",
+		Topo:   "crawled",
+		Seed:   1,
+		Loss:   0.01,
+		Acts: []Act{
+			{AtMS: 25_000, Kind: Partition, Groups: 2},
+			{AtMS: 35_000, Kind: FlashCrowd, Class: -1, Queries: 300, DurationMS: 8_000},
+			{AtMS: 55_000, Kind: Heal},
+			{AtMS: 60_000, Kind: ChurnStorm, Frac: 0.2, DurationMS: 15_000},
+			{AtMS: 80_000, Kind: FreeRiders, Frac: 0.5},
+		},
+	},
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, len(builtins))
+	for i := range builtins {
+		out[i] = builtins[i].Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the registered scenario with the given name.
+func ByName(name string) (Scenario, error) {
+	for i := range builtins {
+		if builtins[i].Name == name {
+			return builtins[i], nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}

@@ -47,7 +47,21 @@ type System struct {
 	// the hot path free of recording work (every method is nil-safe).
 	obs *obs.Recorder
 
+	// director handles trace.Directive events (scenario acts); nil
+	// rejects them. freeRiders, when non-nil, marks nodes that query but
+	// never publish or forward ads. Both are mutated only between replay
+	// batches on the runner goroutine.
+	director   Director
+	freeRiders []bool
+
 	rng *rand.Rand // runner-side mutations (join wiring) only
+}
+
+// Director applies one staged scenario act. The runner invokes it on the
+// runner goroutine while applying state events, so implementations may
+// mutate the system, the fault plane, and the overlay without locking.
+type Director interface {
+	Apply(t Clock, op int)
 }
 
 // nodeIndex is one node's keyword → postings index. The base postings are
@@ -316,6 +330,24 @@ func (s *System) SetObs(r *obs.Recorder) { s.obs = r }
 // Obs returns the installed recorder (nil-safe to use directly).
 func (s *System) Obs() *obs.Recorder { return s.obs }
 
+// SetDirector installs the handler for trace.Directive events.
+func (s *System) SetDirector(d Director) { s.director = d }
+
+// SetInterests replaces node n's interest set. Schemes read interests
+// live (no caching), so the change takes effect for every subsequent
+// delivery, caching decision, and ads request.
+func (s *System) SetInterests(n overlay.NodeID, set content.ClassSet) { s.interests[n] = set }
+
+// SetFreeRiders installs (or, with nil, clears) the free-rider mask:
+// marked nodes keep searching and caching but stop publishing and
+// forwarding ads until the mask is lifted.
+func (s *System) SetFreeRiders(mask []bool) { s.freeRiders = mask }
+
+// FreeRider reports whether node n is currently free-riding.
+func (s *System) FreeRider(n overlay.NodeID) bool {
+	return s.freeRiders != nil && s.freeRiders[n]
+}
+
 // Arrives decides whether the message identified by (key, seq) on the
 // src→dst link, sent at virtual time t, survives the network. Senders
 // account bytes regardless — a dropped message was still sent and still
@@ -326,6 +358,15 @@ func (s *System) Arrives(t Clock, c metrics.MsgClass, src, dst overlay.NodeID, k
 	s.obs.CountMsg(t, c)
 	if s.faults == nil {
 		return true
+	}
+	// Partition verdicts are pure group-membership lookups — they consume
+	// no hash stream, so the Drop decision below sees exactly the inputs
+	// it would see with no partition engaged (see faults.Plane.group).
+	if s.faults.Partitioned(src, dst) {
+		s.Load.CountDrop()
+		s.obs.Count(t, obs.CDrop)
+		s.obs.Count(t, obs.CPartDrop)
+		return false
 	}
 	if s.faults.Drop(c, src, dst, key, seq) {
 		s.Load.CountDrop()
@@ -448,6 +489,11 @@ func (s *System) ApplyEvent(ev *trace.Event) {
 		s.G.Join(ev.Node, s.rng)
 	case trace.Leave:
 		s.G.Leave(ev.Node)
+	case trace.Directive:
+		if s.director == nil {
+			panic(fmt.Sprintf("sim: Directive event %d with no director installed", ev.Doc))
+		}
+		s.director.Apply(ev.Time, int(ev.Doc))
 	default:
 		panic(fmt.Sprintf("sim: ApplyEvent on %v event", ev.Kind))
 	}

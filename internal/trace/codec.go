@@ -46,6 +46,9 @@ func (t *Trace) Encode(w io.Writer) error {
 		if ev.Time < prev {
 			return fmt.Errorf("trace: events out of order at %d (%d < %d)", i, ev.Time, prev)
 		}
+		if ev.Kind > Leave {
+			return fmt.Errorf("trace: unserializable kind %s at event %d", ev.Kind, i)
+		}
 		if err := putUvarint(uint64(ev.Time - prev)); err != nil {
 			return err
 		}

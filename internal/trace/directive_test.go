@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asap/internal/content"
+)
+
+// directiveTrace is a minimal trace holding one in-memory Directive event.
+func directiveTrace() *Trace {
+	return &Trace{
+		Peers:       []content.PeerID{0, 1},
+		InitialLive: 2,
+		Events: []Event{
+			{Time: 0, Kind: Query, Node: 0, Doc: 1, Terms: []content.Keyword{1}},
+			{Time: 1000, Kind: Directive, Node: 0, Doc: 0},
+		},
+	}
+}
+
+// TestCodecsRejectDirective pins the wire boundary: Directive events are
+// in-memory scenario staging artifacts and must never serialize — both
+// codecs refuse, and the binary decoder still rejects the kind byte.
+func TestCodecsRejectDirective(t *testing.T) {
+	tr := directiveTrace()
+	var bin bytes.Buffer
+	if err := tr.Encode(&bin); err == nil || !strings.Contains(err.Error(), "unserializable") {
+		t.Errorf("Encode accepted a Directive event (err=%v)", err)
+	}
+	var js bytes.Buffer
+	if err := tr.EncodeJSON(&js); err == nil || !strings.Contains(err.Error(), "unserializable") {
+		t.Errorf("EncodeJSON accepted a Directive event (err=%v)", err)
+	}
+
+	// A hostile binary stream carrying the Directive kind byte must be
+	// rejected by Decode, exactly like any other out-of-range kind. With a
+	// single Leave event (time 0, node 0, doc 0, no terms) the record is
+	// the stream's last four bytes [kind, node, doc, nterms] after the dt
+	// varint, so the kind byte sits at a fixed offset from the end.
+	wire := &Trace{Peers: []content.PeerID{0, 1}, InitialLive: 2,
+		Events: []Event{{Time: 0, Kind: Leave, Node: 0}}}
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	raw := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+	idx := len(raw) - 4
+	if raw[idx] != byte(Leave) {
+		t.Fatalf("kind byte not at expected offset (got %d)", raw[idx])
+	}
+	raw[idx] = byte(Directive)
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Error("Decode accepted the Directive kind byte")
+	}
+
+	if Directive.String() != "directive" {
+		t.Errorf("Directive.String() = %q", Directive.String())
+	}
+	if _, err := kindByLabel("directive"); err == nil {
+		t.Error("kindByLabel resolved \"directive\"")
+	}
+}

@@ -40,6 +40,9 @@ func (t *Trace) EncodeJSON(w io.Writer) error {
 	}
 	for i := range t.Events {
 		ev := &t.Events[i]
+		if ev.Kind > Leave {
+			return fmt.Errorf("trace: unserializable kind %s at event %d", ev.Kind, i)
+		}
 		if err := enc.Encode(jsonEvent{T: ev.Time, Kind: ev.Kind.String(), Node: ev.Node, Doc: ev.Doc, Terms: ev.Terms}); err != nil {
 			return err
 		}

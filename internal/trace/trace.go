@@ -22,6 +22,11 @@ const (
 	Join
 	// Leave deactivates Node.
 	Leave
+	// Directive is an in-memory scenario directive: Doc carries the index
+	// of a staged scenario act, applied by the sim.System's Director. It
+	// never appears on the wire — the codecs reject it — so serialized
+	// traces stay exactly the paper's five-kind vocabulary.
+	Directive
 )
 
 // String returns the event-kind label.
@@ -37,6 +42,8 @@ func (k Kind) String() string {
 		return "join"
 	case Leave:
 		return "leave"
+	case Directive:
+		return "directive"
 	default:
 		return "invalid"
 	}
