@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate shard-smoke mem-gate net-smoke scenario-smoke profile check
+.PHONY: build test vet fmt race loss-smoke bench-gate bench bench-delivery bench-replay fuzz-smoke obs-smoke alloc-gate shard-smoke mem-gate net-smoke scenario-smoke serve-smoke bench-serve profile check
 
 build:
 	$(GO) build ./...
@@ -114,6 +114,25 @@ net-smoke:
 scenario-smoke:
 	$(GO) test -race -count=1 ./internal/scenario
 
+# Serving-plane gate under the race detector: the serve package's
+# concurrent-oracle property (hammering readers vs live applies, every
+# answer equal to the quiescent oracle at its epoch), admission control,
+# endpoint and determinism tests — then a short open-loop load run built
+# -race against an in-process warm node, which must serve every query
+# (zero sheds at a rate the node is provisioned for) with p99 under a
+# deliberately generous bound (detector overhead included).
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/serve ./internal/benchio
+	$(GO) run -race ./cmd/asapload -rate 200 -n 400 -smoke -p99max 250ms -quiet
+
+# Serving-plane benchmark: the zero-alloc hot-path gate (a warmed
+# Node.Search must not allocate), then a sustained load run recording the
+# serving block (qps, p50/p99, shed rate) into the bench JSON and gating
+# the paper-motivated floor: ≥100k queries/min served from one warm node.
+bench-serve:
+	$(GO) test -run 'TestServeSearchAllocs' -count=1 ./internal/serve
+	$(GO) run ./cmd/asapload -rate 4000 -n 12000 -minqpm 100000 -bench BENCH_matrix.json
+
 # Profile a small-scale matrix run; inspect with `go tool pprof out/cpu.pb`.
 profile:
 	mkdir -p out
@@ -121,4 +140,4 @@ profile:
 		-cpuprofile out/cpu.pb -memprofile out/mem.pb -mutexprofile out/mutex.pb
 	@echo "profiles written to out/{cpu,mem,mutex}.pb"
 
-check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate shard-smoke mem-gate net-smoke scenario-smoke fuzz-smoke
+check: vet fmt test race loss-smoke bench-gate bench-delivery bench-replay obs-smoke alloc-gate shard-smoke mem-gate net-smoke scenario-smoke serve-smoke fuzz-smoke

@@ -12,29 +12,65 @@
 // recruited into another. Flags left at their defaults accept whatever
 // the Hello proposes.
 //
+// With -serve, the daemon instead runs the always-on query serving plane
+// (internal/serve): it warms a node by replaying the preset's trace to
+// completion, then answers concurrent searches over HTTP (-http: POST
+// /search, GET /metrics, GET /healthz) and optionally the length-prefixed
+// binary protocol (-bin), with token-bucket admission control and a
+// graceful drain on SIGINT/SIGTERM.
+//
 // Usage:
 //
 //	asapnode -listen 127.0.0.1:0
-//	asapnode -listen 127.0.0.1:7440 -scale tiny -scheme asap -seed 42
+//	asapnode -listen 127.0.0.1:7440 -scale tiny -scheme asap -seed 42 -metrics 127.0.0.1:9090
+//	asapnode -serve -scale tiny -http 127.0.0.1:0 -bin 127.0.0.1:0 -rate 2000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"asap/internal/cliutil"
 	"asap/internal/cluster"
+	"asap/internal/experiments"
+	"asap/internal/obs"
+	"asap/internal/overlay"
+	"asap/internal/serve"
 	"asap/internal/transport"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address (\":0\" picks a free port)")
-	scale := flag.String("scale", "", "pin the experiment scale preset (empty: accept the harness's)")
-	scheme := flag.String("scheme", "", "pin the scheme (empty: accept the harness's)")
-	topo := flag.String("topo", "", "pin the overlay topology (empty: accept the harness's)")
+	scale := flag.String("scale", "", "pin the experiment scale preset (empty: accept the harness's; serve mode defaults to tiny)")
+	scheme := flag.String("scheme", "", "pin the scheme (empty: accept the harness's; serve mode defaults to asap-rw)")
+	topo := flag.String("topo", "", "pin the overlay topology (empty: accept the harness's; serve mode defaults to random)")
 	seed := flag.Uint64("seed", 0, "pin the run seed (only if given explicitly; 0 is a valid seed)")
+	metricsAddr := flag.String("metrics", "", "expose Prometheus /metrics on this HTTP address (empty: off)")
+
+	serveMode := flag.Bool("serve", false, "run the always-on serving plane instead of the cluster daemon")
+	httpAddr := flag.String("http", "127.0.0.1:0", "serve mode: HTTP listen address (search, metrics, health)")
+	binAddr := flag.String("bin", "", "serve mode: binary endpoint listen address (empty: off)")
+	rate := flag.Float64("rate", 0, "serve mode: admission rate in queries/sec (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "serve mode: admission burst (0: one second at -rate)")
+	workers := flag.Int("workers", 0, "serve mode: concurrent in-flight searches (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "serve mode: bounded wait queue beyond the in-flight cap")
 	flag.Parse()
+
+	if *serveMode {
+		cfg := serve.Config{Workers: *workers, MaxQueue: *queue, Rate: *rate, Burst: *burst}
+		if err := runServe(*scale, *scheme, *topo, *seed, *httpAddr, *binAddr, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "asapnode: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pins := cluster.Pins{Scale: *scale, Scheme: *scheme, Topo: *topo}
 	// -seed 0 must pin too, so presence — not value — decides (cliutil).
@@ -53,8 +89,105 @@ func main() {
 	fmt.Printf("listening %s\n", ln.Addr())
 
 	e := cluster.NewEngine(tp, ln, pins)
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, e.Recorder); err != nil {
+			fmt.Fprintf(os.Stderr, "asapnode: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if err := e.Serve(); err != nil {
 		fmt.Fprintf(os.Stderr, "asapnode: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// serveMetrics binds addr and serves GET /metrics scraped from rec() —
+// which may return nil until a harness Hello configures the replica
+// (WriteProm on a nil recorder writes an empty exposition).
+func serveMetrics(addr string, rec func() *obs.Recorder) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics %s\n", l.Addr())
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		var pw obs.PromWriter
+		rec().WriteProm(&pw)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(pw.Bytes())
+	})
+	go http.Serve(l, mux)
+	return nil
+}
+
+// runServe warms a node from the preset and serves it until SIGINT or
+// SIGTERM, then drains in-flight and queued queries before exiting.
+func runServe(scale, scheme, topo string, seed uint64, httpAddr, binAddr string, cfg serve.Config) error {
+	if scale == "" {
+		scale = "tiny"
+	}
+	if scheme == "" {
+		scheme = "asap-rw"
+	}
+	if topo == "" {
+		topo = "random"
+	}
+	sc, err := experiments.ByName(scale)
+	if err != nil {
+		return err
+	}
+	if cliutil.WasSet("seed") {
+		sc.Seed = seed
+	}
+	kind, err := overlay.KindByName(topo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "asapnode: warming %s/%s at %s scale…\n", scheme, topo, scale)
+	lab, err := experiments.NewLab(sc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	n, rec, err := serve.Warm(lab, scheme, kind, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "asapnode: warm in %v\n", time.Since(start).Round(time.Millisecond))
+
+	hl, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving http %s\n", hl.Addr())
+	hs := serve.NewHTTP(n, rec)
+
+	var bs *serve.BinaryServer
+	if binAddr != "" {
+		bln, err := transport.TCP{}.Listen(binAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving bin %s\n", bln.Addr())
+		bs = serve.NewBinary(n, bln)
+		go bs.Serve()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(hl) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+	}
+	fmt.Fprintln(os.Stderr, "asapnode: draining…")
+	if bs != nil {
+		bs.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
 }

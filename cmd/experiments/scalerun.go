@@ -1,14 +1,13 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"reflect"
 	"runtime"
 	"time"
 
+	"asap/internal/benchio"
 	"asap/internal/experiments"
 	"asap/internal/obs"
 	"asap/internal/overlay"
@@ -86,7 +85,7 @@ func runScaleRun(preset string, seed uint64, matrixWorkers, shardsOverride int, 
 	if err != nil {
 		return err
 	}
-	if err := mergeScaleRun(path, preset, rec); err != nil {
+	if err := benchio.MergeEntry(path, "scale_runs", preset, rec); err != nil {
 		return err
 	}
 	progress("scalerun: %s recorded (%.0f ms wall, %.0f MB peak heap) → %s",
@@ -157,61 +156,4 @@ func scaleRunCell(lab *experiments.Lab, rec *scaleRunRecord, progress func(strin
 		return fmt.Errorf("scalerun: shard counts disagree on %s/%s", scheme, topo)
 	}
 	return nil
-}
-
-// mergeScaleRun read-modify-writes the bench JSON at path: only the
-// scale_runs[preset] entry changes; every other key — the benchjson
-// record, other presets' runs — survives verbatim.
-func mergeScaleRun(path, preset string, rec scaleRunRecord) error {
-	doc := map[string]json.RawMessage{}
-	if buf, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(buf, &doc); err != nil {
-			return fmt.Errorf("scalerun: %s is not a JSON object: %w", path, err)
-		}
-	}
-	runs := map[string]json.RawMessage{}
-	if raw, ok := doc["scale_runs"]; ok {
-		if err := json.Unmarshal(raw, &runs); err != nil {
-			return fmt.Errorf("scalerun: scale_runs block in %s: %w", path, err)
-		}
-	}
-	entry, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	runs[preset] = entry
-	block, err := json.Marshal(runs)
-	if err != nil {
-		return err
-	}
-	doc["scale_runs"] = block
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return writeFileAtomic(path, append(buf, '\n'), 0o644)
-}
-
-// writeFileAtomic replaces path via a temp file in the same directory and
-// an atomic rename, so a crash mid-write can never destroy the existing
-// record — the file either keeps its old contents or has the new ones.
-func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Chmod(perm); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }

@@ -1,12 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"asap/internal/benchio"
 	"asap/internal/cliutil"
 	"asap/internal/obs"
 	"asap/internal/scenario"
@@ -89,21 +89,10 @@ func runScenarioSweep(csv, seriesDir string, shardsOverride int, benchPath strin
 // mergeScenarioBench read-modify-writes the bench JSON at path: only the
 // scenarios block changes; every other key survives verbatim.
 func mergeScenarioBench(path string, sw *scenario.Sweep, walls map[string]float64) error {
-	doc := map[string]json.RawMessage{}
-	if buf, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(buf, &doc); err != nil {
-			return fmt.Errorf("scenario: %s is not a JSON object: %w", path, err)
-		}
-	}
-	block := map[string]json.RawMessage{}
-	if raw, ok := doc["scenarios"]; ok {
-		if err := json.Unmarshal(raw, &block); err != nil {
-			return fmt.Errorf("scenario: scenarios block in %s: %w", path, err)
-		}
-	}
 	when := time.Now().UTC().Format(time.RFC3339)
+	entries := map[string]any{}
 	for _, r := range sw.Results {
-		rec := scenarioRecord{
+		entries[r.Scenario.Name] = scenarioRecord{
 			Scheme:         r.Summary.Scheme,
 			Topology:       r.Summary.Topology,
 			Requests:       r.Summary.Requests,
@@ -117,20 +106,6 @@ func mergeScenarioBench(path string, sw *scenario.Sweep, walls map[string]float6
 			WallMS:         walls[r.Scenario.Name],
 			When:           when,
 		}
-		entry, err := json.Marshal(rec)
-		if err != nil {
-			return err
-		}
-		block[r.Scenario.Name] = entry
 	}
-	raw, err := json.Marshal(block)
-	if err != nil {
-		return err
-	}
-	doc["scenarios"] = raw
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return writeFileAtomic(path, append(buf, '\n'), 0o644)
+	return benchio.MergeEntries(path, "scenarios", entries)
 }

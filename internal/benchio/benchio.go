@@ -1,0 +1,80 @@
+// Package benchio persists benchmark records: atomic file replacement
+// and read-modify-write merging of keyed blocks inside a shared bench
+// JSON document (BENCH_matrix.json). Every producer — the scale runner,
+// the scenario sweep, the serving-plane load generator — merges its own
+// block and leaves every other key of the file byte-for-byte intact, so
+// independent runs compose instead of clobbering each other.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces path via a temp file in the same directory and
+// an atomic rename, so a crash mid-write can never destroy the existing
+// record — the file either keeps its old contents or has the new ones.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// MergeEntries read-modify-writes the JSON object at path: for each
+// (key, rec) pair, doc[block][key] is replaced with rec's JSON encoding.
+// Every other key — of the document and of the block — survives
+// verbatim. A missing file starts as an empty document.
+func MergeEntries(path, block string, entries map[string]any) error {
+	doc := map[string]json.RawMessage{}
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("benchio: %s is not a JSON object: %w", path, err)
+		}
+	}
+	blk := map[string]json.RawMessage{}
+	if raw, ok := doc[block]; ok {
+		if err := json.Unmarshal(raw, &blk); err != nil {
+			return fmt.Errorf("benchio: %s block in %s: %w", block, path, err)
+		}
+	}
+	for key, rec := range entries {
+		entry, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		blk[key] = entry
+	}
+	raw, err := json.Marshal(blk)
+	if err != nil {
+		return err
+	}
+	doc[block] = raw
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(buf, '\n'), 0o644)
+}
+
+// MergeEntry merges a single keyed record into a block (see
+// MergeEntries).
+func MergeEntry(path, block, key string, rec any) error {
+	return MergeEntries(path, block, map[string]any{key: rec})
+}

@@ -1,0 +1,75 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMergeEntryPreservesOtherKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	seed := `{"benchjson":{"goos":"linux"},"scale_runs":{"full":{"wall_ms":1}}}`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		QPS float64 `json:"qps"`
+	}
+	if err := MergeEntry(path, "serving", "inproc", rec{QPS: 1234.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeEntry(path, "scale_runs", "tiny", rec{QPS: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[len(buf)-1] != '\n' {
+		t.Error("merged file does not end with newline")
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("merged file is not JSON: %v", err)
+	}
+	for _, key := range []string{"benchjson", "scale_runs", "serving"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("key %q missing after merges", key)
+		}
+	}
+	var runs map[string]json.RawMessage
+	if err := json.Unmarshal(doc["scale_runs"], &runs); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := runs["full"]; !ok {
+		t.Error("pre-existing scale_runs entry clobbered")
+	}
+	if _, ok := runs["tiny"]; !ok {
+		t.Error("new scale_runs entry missing")
+	}
+}
+
+func TestMergeEntryCreatesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.json")
+	if err := MergeEntry(path, "serving", "k", map[string]int{"v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]map[string]int
+	buf, _ := os.ReadFile(path)
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["serving"]["k"]["v"] != 1 {
+		t.Fatalf("round-trip: %v", doc)
+	}
+}
+
+func TestMergeEntryRejectsNonObject(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	os.WriteFile(path, []byte(`[1,2,3]`), 0o644)
+	if err := MergeEntry(path, "serving", "k", 1); err == nil {
+		t.Fatal("merging into a non-object file succeeded")
+	}
+}

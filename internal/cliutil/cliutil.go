@@ -9,7 +9,10 @@
 // operator-set flags against the harness Hello the same way.
 package cliutil
 
-import "flag"
+import (
+	"flag"
+	"math"
+)
 
 // NoOverride marks "flag not given: keep the preset's own default". It is
 // an implausible explicit value (one below MaxInt) rather than zero, so an
@@ -42,6 +45,25 @@ func IntOverride(name string, value int) int {
 // preset's default in place, anything else wins.
 func ApplyInt(override int, dst *int) {
 	if override != NoOverride {
+		*dst = override
+	}
+}
+
+// Float64Override returns value when the named flag was explicitly set
+// and NaN (the float sentinel for "not given") otherwise. NaN rather
+// than a magic finite value: every finite float, zero included, stays a
+// legal explicit choice. Call after flag.Parse.
+func Float64Override(name string, value float64) float64 {
+	if WasSet(name) {
+		return value
+	}
+	return math.NaN()
+}
+
+// ApplyFloat64 folds a Float64Override result into dst: NaN leaves the
+// preset's default in place, anything else wins.
+func ApplyFloat64(override float64, dst *float64) {
+	if !math.IsNaN(override) {
 		*dst = override
 	}
 }

@@ -52,6 +52,10 @@ type Engine struct {
 	// read it while the control goroutine steps the replay.
 	now atomic.Int64
 
+	// recPub republishes rec for goroutines outside the control session
+	// (the -metrics endpoint polls it).
+	recPub atomic.Pointer[obs.Recorder]
+
 	// mu guards the inbound publication queue and the failure latch.
 	mu      sync.Mutex
 	pending []transport.AdMsg
@@ -88,6 +92,11 @@ func NewEngine(tp transport.Transport, ln transport.Listener, pins Pins) *Engine
 
 // Addr returns the engine's bound listen address.
 func (e *Engine) Addr() string { return e.ln.Addr() }
+
+// Recorder returns the engine's observability recorder — nil until a
+// harness Hello configures the replica. Safe for concurrent use: the
+// asapnode -metrics endpoint polls it from its own goroutine.
+func (e *Engine) Recorder() *obs.Recorder { return e.recPub.Load() }
 
 // Serve accepts connections until the listener closes (the Bye handshake,
 // or an external Close). The first frame routes each connection: a Hello
@@ -268,15 +277,7 @@ func buildReplica(h HelloMsg) (*experiments.Lab, *sim.System, sim.Scheme, error)
 }
 
 func parseKind(name string) (overlay.Kind, error) {
-	for _, k := range overlay.Kinds {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	if overlay.SuperPeerKind.String() == name {
-		return overlay.SuperPeerKind, nil
-	}
-	return 0, fmt.Errorf("unknown topology %q", name)
+	return overlay.KindByName(name)
 }
 
 func (e *Engine) handleHello(payload []byte) (HelloOK, error) {
@@ -300,6 +301,7 @@ func (e *Engine) handleHello(payload []byte) (HelloOK, error) {
 	e.helloed = true
 	e.lab, e.sys, e.sch = lab, sys, sch
 	e.rec = obs.NewRecorder(int(lab.Tr.Span()/1000) + 2)
+	e.recPub.Store(e.rec)
 	sys.SetObs(e.rec)
 	e.index = h.Index
 	e.shard = overlay.NewSharding(sys.NumNodes(), h.Nodes)

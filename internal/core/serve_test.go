@@ -1,0 +1,201 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"asap/internal/bloom"
+	"asap/internal/content"
+	"asap/internal/faults"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+	"asap/internal/trace"
+)
+
+// searchROReference is the straight-line specification of SearchRO: scalar
+// Bloom probing, map-based BFS, no accumulator, no scratch reuse. The
+// optimised path must match it element for element on any quiescent state.
+func searchROReference(s *Scheme, p overlay.NodeID, terms []content.Keyword, now sim.Clock) ([]overlay.NodeID, bool) {
+	rp := s.repr(p)
+	if rp < 0 {
+		return nil, false
+	}
+	keys := make([]uint64, 0, len(terms))
+	for _, term := range terms {
+		keys = append(keys, uint64(term))
+	}
+	probes := bloom.AppendKeyProbes(nil, keys)
+	staleBefore := sim.Clock(minClock)
+	if s.cfg.RefreshPeriodSec > 0 {
+		staleBefore = now - sim.Clock(s.cfg.StaleFactor*s.cfg.RefreshPeriodSec)*1000
+	}
+
+	ns := &s.nodes[rp]
+	var out []overlay.NodeID
+	seen := map[overlay.NodeID]bool{}
+	attempts := 0
+	for _, src := range ns.fifo {
+		if attempts >= s.cfg.MaxConfirms {
+			break
+		}
+		e := ns.entry(src)
+		if e == nil || e.lastSeen < staleBefore || !e.snap.filter.ContainsAllProbes(probes) {
+			continue
+		}
+		attempts++
+		seen[src] = true
+		if s.sys.G.Alive(src) && s.groupMatches(src, terms) {
+			out = append(out, src)
+		}
+	}
+	if len(out) >= s.cfg.MinResults || s.cfg.AdsRequestHops == 0 {
+		return out, false
+	}
+
+	// Phase 2: BFS in adjacency order, confirm each peer's qualifying
+	// offers (published first, then fifo, MaxAdsPerReply per peer).
+	interests := s.groupInterests(rp)
+	visited := map[overlay.NodeID]bool{rp: true}
+	frontier := []overlay.NodeID{rp}
+	var targets []overlay.NodeID
+	for hop := 1; hop <= s.cfg.AdsRequestHops && len(frontier) > 0; hop++ {
+		var next []overlay.NodeID
+		for _, u := range frontier {
+			for _, nb := range s.eligibleView(u) {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				targets = append(targets, nb)
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	attempts = 0
+	confirm := func(src overlay.NodeID) {
+		if seen[src] {
+			return
+		}
+		seen[src] = true
+		attempts++
+		if s.sys.G.Alive(src) && s.groupMatches(src, terms) {
+			out = append(out, src)
+		}
+	}
+	for _, tg := range targets {
+		if attempts >= s.cfg.MaxConfirms {
+			break
+		}
+		q := &s.nodes[tg]
+		offered := 0
+		if pub := q.published; pub != nil && s.cfg.MaxAdsPerReply > 0 &&
+			pub.src != rp && pub.topics.Intersects(interests) &&
+			pub.filter.ContainsAllProbes(probes) {
+			offered++
+			confirm(pub.src)
+		}
+		for _, src := range q.fifo {
+			if offered >= s.cfg.MaxAdsPerReply || attempts >= s.cfg.MaxConfirms {
+				break
+			}
+			e := q.tab.get(src)
+			if e == nil || !e.snap.topics.Intersects(interests) {
+				continue
+			}
+			if e.lastSeen < staleBefore || src == rp {
+				continue
+			}
+			if !e.snap.filter.ContainsAllProbes(probes) {
+				continue
+			}
+			offered++
+			confirm(src)
+		}
+	}
+	return out, true
+}
+
+// TestSearchROMatchesOracle replays the test trace — churn, content drift,
+// 5% loss, staleness expiry, evictions — through the real mutating replay
+// and, at every batch boundary (a quiescent state), pins SearchRO against
+// the scalar reference for the queries of that batch, with one shared
+// scratch and result buffer to prove reuse is clean.
+func TestSearchROMatchesOracle(t *testing.T) {
+	sys := sim.NewSystem(testU, testTr, overlay.Random, testNet, 1)
+	sys.SetFaults(faults.New(faults.Config{Seed: 1, LossRate: 0.05}))
+	s := New(testConfig(RW))
+	st := sim.NewStepper(sys, s, 0)
+
+	sc := NewServeScratch()
+	var dst []overlay.NodeID
+	checked := 0
+	phase2Seen := false
+	for batch := st.NextBatch(); batch != nil; batch = st.NextBatch() {
+		for _, ev := range batch {
+			// Check BEFORE the mutating Search, so the state under test is
+			// exactly the quiescent post-apply state.
+			want, wantP2 := searchROReference(s, ev.Node, ev.Terms, ev.Time)
+			var res ServeResult
+			res, dst = s.SearchRO(ev.Node, ev.Terms, ev.Time, sc, dst[:0])
+			if !slices.Equal(res.Sources, want) || res.Phase2 != wantP2 {
+				t.Fatalf("query %d (node %d, t=%d): SearchRO = %v (phase2=%v), oracle %v (phase2=%v)",
+					checked, ev.Node, ev.Time, res.Sources, res.Phase2, want, wantP2)
+			}
+			phase2Seen = phase2Seen || res.Phase2
+			checked++
+			st.Record(ev, s.Search(ev))
+		}
+	}
+	st.Finish()
+	if checked < 500 {
+		t.Fatalf("only %d queries checked", checked)
+	}
+	if !phase2Seen {
+		t.Error("no query exercised the phase-2 neighbourhood path")
+	}
+}
+
+// TestSearchROIsReadOnly pins the no-mutation contract: a SearchRO burst
+// between two identical mutating searches must not change the second
+// search's outcome, cache population, or the seqlock version.
+func TestSearchROIsReadOnly(t *testing.T) {
+	s, sys := attach(t, RW)
+	var q *trace.Event
+	for i := range testTr.Events {
+		if testTr.Events[i].Kind == trace.Query {
+			q = &testTr.Events[i]
+			break
+		}
+	}
+	if q == nil {
+		t.Fatal("no query in test trace")
+	}
+	sizes := func() []int {
+		out := make([]int, sys.NumNodes())
+		for n := range out {
+			out[n] = s.CacheSize(overlay.NodeID(n))
+		}
+		return out
+	}
+	before := sizes()
+	verBefore := s.ServeVersion()
+	sc := NewServeScratch()
+	var dst []overlay.NodeID
+	var first ServeResult
+	for i := 0; i < 50; i++ {
+		var res ServeResult
+		res, dst = s.SearchRO(q.Node, q.Terms, q.Time, sc, dst[:0])
+		if i == 0 {
+			first = ServeResult{Sources: append([]overlay.NodeID(nil), res.Sources...), Phase2: res.Phase2}
+		} else if !slices.Equal(res.Sources, first.Sources) || res.Phase2 != first.Phase2 {
+			t.Fatalf("iteration %d: answer drifted: %v vs %v", i, res.Sources, first.Sources)
+		}
+	}
+	if got := s.ServeVersion(); got != verBefore {
+		t.Fatalf("seqlock version moved %d → %d across read-only searches", verBefore, got)
+	}
+	if after := sizes(); !slices.Equal(before, after) {
+		t.Fatal("SearchRO changed a cache population")
+	}
+}

@@ -25,6 +25,21 @@ const (
 // Kinds lists all topology kinds in paper order.
 var Kinds = []Kind{Random, PowerLaw, Crawled}
 
+// KindByName resolves a topology label (including "superpeer") to its
+// Kind — the inverse of String, shared by every name-keyed surface
+// (cluster Hello validation, the serving-plane configuration).
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	if SuperPeerKind.String() == name {
+		return SuperPeerKind, nil
+	}
+	return 0, fmt.Errorf("overlay: unknown topology %q", name)
+}
+
 // String returns the paper's topology label.
 func (k Kind) String() string {
 	switch k {

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"asap/internal/content"
+	"asap/internal/overlay"
+	"asap/internal/transport"
+)
+
+// BinaryServer exposes a serving Node over the length-prefixed binary
+// protocol (internal/transport framing, MServe* frame types): one
+// request/response exchange per frame, many concurrent connections, each
+// connection serving requests sequentially from its own reused buffers —
+// the zero-allocation steady state the wire path inherits from the node.
+type BinaryServer struct {
+	n  *Node
+	ln transport.Listener
+}
+
+// NewBinary builds the binary front end for n on ln.
+func NewBinary(n *Node, ln transport.Listener) *BinaryServer {
+	return &BinaryServer{n: n, ln: ln}
+}
+
+// Addr returns the bound listener address.
+func (b *BinaryServer) Addr() string { return b.ln.Addr() }
+
+// Serve accepts connections until the listener closes (Close or process
+// shutdown). Each connection is served on its own goroutine.
+func (b *BinaryServer) Serve() error {
+	for {
+		c, err := b.ln.Accept()
+		if err != nil {
+			return nil // listener closed: clean shutdown
+		}
+		go b.serveConn(c)
+	}
+}
+
+// Close stops accepting new connections. In-flight exchanges finish on
+// their own goroutines; pair with Node.Drain for a full graceful stop.
+func (b *BinaryServer) Close() error { return b.ln.Close() }
+
+// shedCode maps an admission error to its wire reason code.
+func shedCode(err error) byte {
+	switch {
+	case errors.Is(err, ErrThrottled):
+		return transport.ServeErrThrottled
+	case errors.Is(err, ErrOverloaded):
+		return transport.ServeErrOverloaded
+	case errors.Is(err, ErrDraining):
+		return transport.ServeErrDraining
+	default:
+		return transport.ServeErrBadRequest
+	}
+}
+
+// serveConn runs one connection's request loop. Buffers persist across
+// requests, so a warm connection allocates only inside the transport
+// reader (frame payload) and whatever SearchRO grows once.
+func (b *BinaryServer) serveConn(c *transport.Conn) {
+	defer c.Close()
+	var (
+		terms []content.Keyword
+		dst   []overlay.NodeID
+		buf   []byte
+		reply transport.ServeReply
+	)
+	for {
+		t, p, err := c.ReadFrame()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		switch t {
+		case transport.MServeBye:
+			c.WriteFrame(transport.MServeByeOK, nil)
+			return
+		case transport.MServeQuery:
+			q, err := transport.DecodeServeQuery(p)
+			if err != nil || int(q.From) >= b.n.sys.G.N() {
+				c.WriteFrame(transport.MServeErr, []byte{transport.ServeErrBadRequest})
+				continue
+			}
+			terms = terms[:0]
+			for _, kw := range q.Terms {
+				terms = append(terms, content.Keyword(kw))
+			}
+			res, out, epoch, err := b.n.Search(overlay.NodeID(q.From), terms, dst[:0])
+			dst = out
+			if err != nil {
+				c.WriteFrame(transport.MServeErr, []byte{shedCode(err)})
+				continue
+			}
+			reply.Epoch, reply.Phase2 = epoch, res.Phase2
+			reply.Sources = reply.Sources[:0]
+			for _, id := range out {
+				reply.Sources = append(reply.Sources, uint32(id))
+			}
+			buf = reply.Encode(buf[:0])
+			if c.WriteFrame(transport.MServeOK, buf) != nil {
+				return
+			}
+		default:
+			c.WriteFrame(transport.MServeErr, []byte{transport.ServeErrBadRequest})
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asap/internal/content"
+	"asap/internal/obs"
+	"asap/internal/overlay"
+	"asap/internal/trace"
+)
+
+// loadStream is the PCG stream constant of the load-generator RNG, so a
+// schedule depends on the user seed alone.
+const loadStream = 0x9b6ae3f24c81d705
+
+// CatalogEntry is one query template: the issuing peer and its terms.
+type CatalogEntry struct {
+	From  overlay.NodeID
+	Terms []content.Keyword
+}
+
+// BuildCatalog extracts the query templates from a trace, in trace
+// order: every query event whose issuing node passes alive (nil accepts
+// all). The load generator replays these templates at arbitrary rates —
+// the trace's own query mix, decoupled from its timeline.
+func BuildCatalog(tr *trace.Trace, alive func(overlay.NodeID) bool) []CatalogEntry {
+	var out []CatalogEntry
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Kind != trace.Query {
+			continue
+		}
+		if alive != nil && !alive(ev.Node) {
+			continue
+		}
+		out = append(out, CatalogEntry{From: ev.Node, Terms: ev.Terms})
+	}
+	return out
+}
+
+// LoadConfig shapes an open-loop load schedule.
+type LoadConfig struct {
+	// Rate is the mean arrival rate in queries/second (Poisson process —
+	// exponential inter-arrivals, the trace generator's λ generalised to
+	// arbitrary rates).
+	Rate float64
+	// Count is the total number of queries.
+	Count int
+	// Seed seeds the schedule; the same seed, rate, count, skew and
+	// catalog size produce a byte-identical schedule.
+	Seed uint64
+	// ZipfS is the Zipf popularity skew over the catalog: entry i is
+	// drawn with weight (i+1)^-s. 0 means uniform.
+	ZipfS float64
+}
+
+// Arrival is one scheduled query: its offset from the run start and the
+// catalog entry to issue.
+type Arrival struct {
+	AtNS  int64
+	Entry int32
+}
+
+// BuildSchedule precomputes the whole open-loop schedule: Poisson
+// arrival offsets and a Zipf-popular query mix over a catalog of the
+// given size. Precomputing keeps execution allocation-free and makes the
+// schedule a pure function of the config — workers only execute it, so
+// worker count cannot perturb arrivals or mix.
+func BuildSchedule(catalog int, cfg LoadConfig) []Arrival {
+	if catalog <= 0 || cfg.Count <= 0 || cfg.Rate <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, loadStream))
+	// Inverse-CDF table for the Zipf mix: cum[i] = Σ_{j≤i} (j+1)^-s.
+	cum := make([]float64, catalog)
+	total := 0.0
+	for i := range cum {
+		total += math.Pow(float64(i+1), -cfg.ZipfS)
+		cum[i] = total
+	}
+	out := make([]Arrival, cfg.Count)
+	at := 0.0
+	for i := range out {
+		at += rng.ExpFloat64() / cfg.Rate
+		e := sort.SearchFloat64s(cum, rng.Float64()*total)
+		if e >= catalog {
+			e = catalog - 1
+		}
+		out[i] = Arrival{AtNS: int64(at * 1e9), Entry: int32(e)}
+	}
+	return out
+}
+
+// LoadResult accumulates one load run's client-side outcome counts and
+// wall-clock latency histogram (served queries only).
+type LoadResult struct {
+	Served    atomic.Int64
+	ShedRate  atomic.Int64
+	ShedQueue atomic.Int64
+	ShedDrain atomic.Int64
+	Failed    atomic.Int64 // transport/protocol errors
+	Wall      obs.WallHist
+	Elapsed   time.Duration
+}
+
+// Shed returns the total shed count.
+func (r *LoadResult) Shed() int64 {
+	return r.ShedRate.Load() + r.ShedQueue.Load() + r.ShedDrain.Load()
+}
+
+// QPS returns the served throughput over the run's wall time.
+func (r *LoadResult) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Served.Load()) / r.Elapsed.Seconds()
+}
+
+// RunLoad executes a prebuilt schedule open-loop across workers: each
+// arrival fires at its scheduled offset (never earlier; a lagging
+// worker pool fires late but never skips), calling do with the worker
+// index — for per-worker connections and buffers — and the catalog
+// entry. do's error classifies the outcome: nil served, the admission
+// sentinels shed, anything else failed.
+func RunLoad(sched []Arrival, workers int, do func(worker int, entry int32) error) *LoadResult {
+	if workers <= 0 {
+		workers = 1
+	}
+	res := &LoadResult{}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if int(i) >= len(sched) {
+					return
+				}
+				a := &sched[i]
+				if d := time.Duration(a.AtNS) - time.Since(start); d > 0 {
+					time.Sleep(d)
+				}
+				t0 := time.Now()
+				err := do(w, a.Entry)
+				switch {
+				case err == nil:
+					res.Wall.Observe(time.Since(t0))
+					res.Served.Add(1)
+				case errors.Is(err, ErrThrottled):
+					res.ShedRate.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					res.ShedQueue.Add(1)
+				case errors.Is(err, ErrDraining):
+					res.ShedDrain.Add(1)
+				default:
+					res.Failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}

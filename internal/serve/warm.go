@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"fmt"
+
+	"asap/internal/core"
+	"asap/internal/experiments"
+	"asap/internal/faults"
+	"asap/internal/obs"
+	"asap/internal/overlay"
+	"asap/internal/sim"
+)
+
+// Warm builds a serving node from a lab preset: it constructs the system
+// for the given topology, attaches the named ASAP scheme, replays the
+// whole trace (queries included, so the ad caches carry a realistic
+// working set), and wraps the warm state in a Node with its virtual clock
+// at the trace horizon. The returned recorder holds the warm-up replay's
+// sim-time series and keeps accumulating if the caller drives further
+// state through the node.
+func Warm(lab *experiments.Lab, schemeName string, topo overlay.Kind, cfg Config) (*Node, *obs.Recorder, error) {
+	raw, err := lab.NewScheme(schemeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	sch, ok := raw.(*core.Scheme)
+	if !ok {
+		return nil, nil, fmt.Errorf("serve: scheme %q has no read-only serving path (ASAP schemes only)", schemeName)
+	}
+	rec := obs.NewRecorder(int(lab.Tr.Span()/1000) + 2)
+	sys := sim.NewSystem(lab.U, lab.Tr, topo, lab.Net, lab.Scale.Seed)
+	sys.SetObs(rec)
+	if lab.Scale.LossRate > 0 {
+		sys.SetFaults(faults.New(faults.Config{Seed: lab.Scale.Seed, LossRate: lab.Scale.LossRate}))
+	}
+	st := sim.NewStepper(sys, sch, 0)
+	for batch := st.NextBatch(); batch != nil; batch = st.NextBatch() {
+		for _, ev := range batch {
+			st.Record(ev, sch.Search(ev))
+		}
+	}
+	st.Finish()
+	n := NewNode(sys, sch, cfg)
+	n.Apply(lab.Tr.Span(), nil) // position the serving clock at the horizon
+	return n, rec, nil
+}

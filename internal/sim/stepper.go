@@ -136,19 +136,36 @@ func (st *Stepper) applyState(evs []trace.Event, ev *trace.Event) {
 			return
 		}
 	}
-	if ev.Kind == trace.Leave && st.leaver != nil {
-		st.leaver.NodeLeaving(ev.Time, ev.Node)
+	applyOne(st.sys, st.sch, st.leaver, ev)
+}
+
+// ApplyStateEvent applies one non-query trace event to the system and
+// notifies the scheme — the single-event core of the stepper's state
+// application, shared with the serving plane's live driver
+// (internal/serve), which applies churn and content events one at a time
+// between query bursts instead of batch-stepping a whole trace.
+func ApplyStateEvent(sys *System, sch Scheme, ev *trace.Event) {
+	leaver, _ := sch.(GracefulLeaver)
+	applyOne(sys, sch, leaver, ev)
+}
+
+// applyOne is the shared single-event application: graceful-leave
+// announcement while links still exist, the system mutation, then the
+// scheme callback.
+func applyOne(sys *System, sch Scheme, leaver GracefulLeaver, ev *trace.Event) {
+	if ev.Kind == trace.Leave && leaver != nil {
+		leaver.NodeLeaving(ev.Time, ev.Node)
 	}
-	st.sys.ApplyEvent(ev)
+	sys.ApplyEvent(ev)
 	switch ev.Kind {
 	case trace.ContentAdd:
-		st.sch.ContentChanged(ev.Time, ev.Node, ev.Doc, true)
+		sch.ContentChanged(ev.Time, ev.Node, ev.Doc, true)
 	case trace.ContentRemove:
-		st.sch.ContentChanged(ev.Time, ev.Node, ev.Doc, false)
+		sch.ContentChanged(ev.Time, ev.Node, ev.Doc, false)
 	case trace.Join:
-		st.sch.NodeJoined(ev.Time, ev.Node)
+		sch.NodeJoined(ev.Time, ev.Node)
 	case trace.Leave:
-		st.sch.NodeLeft(ev.Time, ev.Node)
+		sch.NodeLeft(ev.Time, ev.Node)
 	}
 }
 
